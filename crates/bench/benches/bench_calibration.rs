@@ -1,0 +1,69 @@
+//! Criterion: the calibration stack — GP fit, emulator prediction, and
+//! the MCMC loop (the compute profile behind the Fig. 4 workflow's
+//! home-cluster stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epiflow_calibrate::{Emulator, GpModel, GpmsaCalibration, GpmsaConfig, MetropolisConfig, ParamSpace};
+
+fn toy_sim(theta: &[f64], t_len: usize) -> Vec<f64> {
+    (0..t_len)
+        .map(|t| theta[1] / (1.0 + (-theta[0] * (t as f64 - 25.0)).exp()))
+        .collect()
+}
+
+fn space() -> ParamSpace {
+    ParamSpace::new(&[("rate", 0.05, 0.4), ("plateau", 4.0, 16.0)])
+}
+
+fn gp_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    group.sample_size(10);
+    for n in [25usize, 100] {
+        let sp = space();
+        let x: Vec<Vec<f64>> = sp.sample_lhs(n, 1).iter().map(|p| sp.to_unit(p)).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 6.0).sin() + p[1]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| GpModel::fit(&x, &y, 7));
+        });
+    }
+    group.finish();
+}
+
+fn emulator_predict(c: &mut Criterion) {
+    let sp = space();
+    let designs = sp.sample_lhs(60, 2);
+    let outputs: Vec<Vec<f64>> = designs.iter().map(|d| toy_sim(d, 70)).collect();
+    let em = Emulator::fit(sp, &designs, &outputs, 5, 3);
+    c.bench_function("emulator_predict_70d", |b| {
+        b.iter(|| em.predict(&[0.2, 9.0]));
+    });
+}
+
+fn gpmsa_mcmc(c: &mut Criterion) {
+    let sp = space();
+    let designs = sp.sample_lhs(50, 4);
+    let outputs: Vec<Vec<f64>> = designs.iter().map(|d| toy_sim(d, 50)).collect();
+    let em = Emulator::fit(sp, &designs, &outputs, 5, 5);
+    let observed = toy_sim(&[0.22, 9.5], 50);
+    let mut group = c.benchmark_group("gpmsa");
+    group.sample_size(10);
+    group.bench_function("mcmc_500_iters", |b| {
+        b.iter(|| {
+            let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
+                mcmc: MetropolisConfig {
+                    iterations: 500,
+                    burn_in: 100,
+                    seed: 9,
+                    ..Default::default()
+                },
+                gibbs_sweeps: 1,
+                ..Default::default()
+            });
+            cal.run()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gp_fit, emulator_predict, gpmsa_mcmc);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: measured intervention-stack overhead (the in-process part
+//! of Fig. 7 bottom; the national-scale multipliers are projected by
+//! `repro_fig7` from the BSP cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epiflow_bench::{region, run_covid};
+use epiflow_epihiper::covid::states;
+use epiflow_epihiper::interventions::{base_case, ContactTracing, TestAndIsolate};
+use epiflow_epihiper::InterventionSet;
+use epiflow_surveillance::RegionRegistry;
+
+fn stacks(c: &mut Criterion) {
+    let reg = RegionRegistry::new();
+    let data = region(&reg, "VA", 1000.0);
+    let mut group = c.benchmark_group("intervention_stack");
+    group.sample_size(10);
+
+    let base = || base_case(states::SYMPTOMATIC, 30, 40, 100, 0.5, 0.6);
+    group.bench_function(BenchmarkId::from_parameter("base"), |b| {
+        b.iter(|| run_covid(&data, base(), 100, 4, 1));
+    });
+    group.bench_function(BenchmarkId::from_parameter("base+TA"), |b| {
+        b.iter(|| {
+            let mut set = base();
+            set.push(Box::new(TestAndIsolate {
+                asymptomatic: states::ASYMPTOMATIC,
+                detection: 0.3,
+                duration: 14,
+                start: 20,
+            }));
+            run_covid(&data, set, 100, 4, 1)
+        });
+    });
+    for distance in [1u8, 2] {
+        group.bench_function(BenchmarkId::from_parameter(format!("base+D{distance}CT")), |b| {
+            b.iter(|| {
+                let mut set = base();
+                set.push(Box::new(ContactTracing {
+                    symptomatic: states::SYMPTOMATIC,
+                    detection: 0.5,
+                    compliance: 0.8,
+                    duration: 14,
+                    distance,
+                }));
+                run_covid(&data, set, 100, 4, 1)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn no_interventions_baseline(c: &mut Criterion) {
+    let reg = RegionRegistry::new();
+    let data = region(&reg, "VA", 1000.0);
+    c.bench_function("no_interventions", |b| {
+        b.iter(|| run_covid(&data, InterventionSet::new(), 100, 4, 1));
+    });
+}
+
+criterion_group!(benches, stacks, no_interventions_baseline);
+criterion_main!(benches);

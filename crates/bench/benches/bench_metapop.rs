@@ -1,0 +1,58 @@
+//! Criterion: the metapopulation model — the "cheap to run" property
+//! that lets it sit inside the MCMC loop (Appendix E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epiflow_metapop::{MetapopModel, Mixing, Scenario, SeirParams};
+use epiflow_surveillance::RegionRegistry;
+
+fn no_distancing() -> Scenario {
+    Scenario {
+        name: "none".into(),
+        distancing_start: None,
+        distancing_end: 0,
+        beta_multiplier: 1.0,
+    }
+}
+
+fn virginia_model(n_counties: usize) -> (MetapopModel, Vec<f64>) {
+    let reg = RegionRegistry::new();
+    let va = reg.by_abbrev("VA").unwrap().id;
+    let counties: Vec<f64> = reg
+        .counties(va)
+        .iter()
+        .take(n_counties)
+        .map(|c| c.population as f64)
+        .collect();
+    let pops: Vec<u64> = counties.iter().map(|&p| p as u64).collect();
+    let seeds: Vec<f64> = counties.iter().map(|p| (p / 2e5).clamp(0.5, 20.0)).collect();
+    (
+        MetapopModel::new(
+            SeirParams::default().with_r0(2.5),
+            Mixing::gravity(&pops, 0.8),
+            counties,
+        ),
+        seeds,
+    )
+}
+
+fn deterministic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metapop_rk4");
+    group.sample_size(20);
+    for n in [10usize, 50, 133] {
+        let (model, seeds) = virginia_model(n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}-counties")), &n, |b, _| {
+            b.iter(|| model.run_deterministic(180, &seeds, &no_distancing(), 2));
+        });
+    }
+    group.finish();
+}
+
+fn stochastic(c: &mut Criterion) {
+    let (model, seeds) = virginia_model(50);
+    c.bench_function("metapop_tauleap_50c_180d", |b| {
+        b.iter(|| model.run_stochastic(180, &seeds, &no_distancing(), 1));
+    });
+}
+
+criterion_group!(benches, deterministic, stochastic);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: the WMP packers and the Slurm executor on the paper's
+//! nightly workloads (9,180 and 15,300 tasks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epiflow_hpcsim::schedule::{pack, pack_arrival, PackAlgo};
+use epiflow_hpcsim::slurm::SlurmSim;
+use epiflow_hpcsim::task::WorkloadSpec;
+use epiflow_hpcsim::ClusterSpec;
+use epiflow_surveillance::{RegionRegistry, Scale};
+
+fn packers(c: &mut Criterion) {
+    let reg = RegionRegistry::new();
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(10);
+    for (name, spec) in [("prediction-9180", WorkloadSpec::prediction()), ("calibration-15300", WorkloadSpec::calibration())] {
+        let tasks = spec.generate(&reg, Scale::default());
+        group.bench_with_input(BenchmarkId::new("ffdt", name), &tasks, |b, tasks| {
+            b.iter(|| pack(tasks, 720, |_| 16, PackAlgo::FfdtDc));
+        });
+        group.bench_with_input(BenchmarkId::new("nfdt_arrival", name), &tasks, |b, tasks| {
+            b.iter(|| pack_arrival(tasks, 720, |_| 16, PackAlgo::NfdtDc));
+        });
+    }
+    group.finish();
+}
+
+fn slurm_execution(c: &mut Criterion) {
+    let reg = RegionRegistry::new();
+    let tasks = WorkloadSpec::prediction().generate(&reg, Scale::default());
+    let plan = pack(&tasks, 720, |_| 16, PackAlgo::FfdtDc);
+    let order: Vec<usize> = plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+    let mut group = c.benchmark_group("slurm");
+    group.sample_size(10);
+    group.bench_function("execute_nightly_9180", |b| {
+        b.iter(|| SlurmSim::new(ClusterSpec::bridges()).run(&tasks, &order, |_| 16));
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let reg = RegionRegistry::new();
+    c.bench_function("generate_workload_15300", |b| {
+        b.iter(|| WorkloadSpec::calibration().generate(&reg, Scale::default()));
+    });
+}
+
+criterion_group!(benches, packers, slurm_execution, workload_generation);
+criterion_main!(benches);

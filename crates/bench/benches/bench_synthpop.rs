@@ -1,0 +1,43 @@
+//! Criterion: synthetic population + contact network construction
+//! (the one-time pipeline behind Fig. 6 and the 2 TB Table-II input).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epiflow_surveillance::{RegionRegistry, Scale};
+use epiflow_synthpop::ipf::ipf;
+use epiflow_synthpop::{build_region, BuildConfig};
+
+fn build_regions(c: &mut Criterion) {
+    let reg = RegionRegistry::new();
+    let mut group = c.benchmark_group("build_region");
+    group.sample_size(10);
+    for (abbrev, per) in [("VT", 2000.0), ("VA", 2000.0), ("VA", 500.0)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{abbrev}-1per{per}")),
+            &per,
+            |b, &per| {
+                let id = reg.by_abbrev(abbrev).unwrap().id;
+                b.iter(|| {
+                    build_region(
+                        &reg,
+                        id,
+                        &BuildConfig { scale: Scale::one_per(per), seed: 1, ..Default::default() },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ipf_convergence(c: &mut Criterion) {
+    let seed: Vec<Vec<f64>> =
+        (0..5).map(|i| (0..6).map(|j| 1.0 + ((i * 7 + j * 3) % 5) as f64).collect()).collect();
+    let rows = vec![100.0, 200.0, 400.0, 180.0, 120.0];
+    let cols = vec![250.0, 300.0, 120.0, 130.0, 100.0, 100.0];
+    c.bench_function("ipf_5x6", |b| {
+        b.iter(|| ipf(&seed, &rows, &cols, 1e-8, 500));
+    });
+}
+
+criterion_group!(benches, build_regions, ipf_convergence);
+criterion_main!(benches);

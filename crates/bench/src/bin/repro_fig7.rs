@@ -1,0 +1,179 @@
+//! Figure 7 — EpiHiper runtime characteristics.
+//!
+//! (top)    *measured*: runtime vs network size at a fixed
+//!          processing-unit count — the paper reports linear growth;
+//! (middle) strong scaling: runtime vs processing units for three
+//!          medium-to-large networks. Wall-clock scaling cannot be
+//!          measured on a single-core host, so this panel projects
+//!          runtimes with the BSP/MPI cost model of
+//!          `epihiper::scaling`, calibrated to the *measured* serial
+//!          throughput of this machine and fed the *real* ghost-edge
+//!          structure of each partitioning (see DESIGN.md §3);
+//! (bottom) runtime vs intervention stack — base (VHI+SC+SH), +RO,
+//!          +TA, +PS, +D1CT, +D2CT — projected at deployment scale from
+//!          epidemic activity profiles measured in real runs; the paper
+//!          reports D2CT ≈ +300%.
+
+use epiflow_bench::{print_row, region, run_covid};
+use epiflow_epihiper::covid::states;
+use epiflow_epihiper::interventions::base_case;
+use epiflow_epihiper::partition::partition_network;
+use epiflow_epihiper::scaling::{
+    intervention_tick_cost, partition_profile, projected_tick_secs, ActivityProfile,
+    MpiCostModel, Stack,
+};
+use epiflow_epihiper::InterventionSet;
+use epiflow_surveillance::RegionRegistry;
+
+fn median_secs(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let reg = RegionRegistry::new();
+    let ticks = 120;
+    let reps = 3;
+
+    // --- (top) measured: runtime vs network size ----------------------
+    println!("Fig. 7 (top) — measured runtime vs network size, 4 processing units");
+    print_row(&["state", "nodes", "edges", "runtime (s)"], &[6, 9, 11, 12]);
+    let mut sizes = Vec::new();
+    for abbrev in ["VT", "WV", "CT", "MD", "VA", "PA", "CA"] {
+        let data = region(&reg, abbrev, 2000.0);
+        let times: Vec<f64> = (0..reps)
+            .map(|s| run_covid(&data, InterventionSet::new(), ticks, 4, s).elapsed.as_secs_f64())
+            .collect();
+        let t = median_secs(times);
+        print_row(
+            &[
+                abbrev,
+                &data.network.n_nodes.to_string(),
+                &data.network.n_edges().to_string(),
+                &format!("{t:.3}"),
+            ],
+            &[6, 9, 11, 12],
+        );
+        sizes.push((data.network.n_edges() as f64, t));
+    }
+    let n = sizes.len() as f64;
+    let mx = sizes.iter().map(|s| s.0).sum::<f64>() / n;
+    let my = sizes.iter().map(|s| s.1).sum::<f64>() / n;
+    let cov: f64 = sizes.iter().map(|s| (s.0 - mx) * (s.1 - my)).sum();
+    let vx: f64 = sizes.iter().map(|s| (s.0 - mx) * (s.0 - mx)).sum();
+    let vy: f64 = sizes.iter().map(|s| (s.1 - my) * (s.1 - my)).sum();
+    println!(
+        "  runtime/size correlation r = {:.3}  [paper: linear ⇒ r ≈ 1]\n",
+        cov / (vx.sqrt() * vy.sqrt())
+    );
+
+    // --- calibrate the cost model from a measured serial run ----------
+    let calib_data = region(&reg, "VA", 500.0);
+    let serial = median_secs(
+        (0..reps)
+            .map(|s| {
+                run_covid(&calib_data, InterventionSet::new(), ticks, 1, s)
+                    .elapsed
+                    .as_secs_f64()
+            })
+            .collect(),
+    );
+    let model = MpiCostModel::default().calibrate_per_edge(
+        serial,
+        calib_data.network.n_edges() * 2,
+        ticks,
+    );
+    println!(
+        "cost model calibrated on measured serial run: {:.1} ns/in-edge\n",
+        model.per_edge_secs * 1e9
+    );
+
+    // --- (middle) projected strong scaling ----------------------------
+    println!("Fig. 7 (middle) — strong scaling (projected, real partition structure)");
+    let pus = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    let header: Vec<String> =
+        std::iter::once("state".to_string()).chain(pus.iter().map(|p| format!("PU={p}"))).collect();
+    let hrefs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let widths = vec![6usize, 8, 8, 8, 8, 8, 8, 8, 8, 8];
+    print_row(&hrefs, &widths);
+    for abbrev in ["MD", "VA", "CA"] {
+        let data = region(&reg, abbrev, 500.0);
+        let mut row = vec![abbrev.to_string()];
+        let mut best = (1usize, f64::MAX);
+        for &p in &pus {
+            let parts = partition_network(&data.network, p, 16);
+            let profile = partition_profile(&data.network, &parts);
+            let t = projected_tick_secs(&profile, &model) * ticks as f64;
+            if t < best.1 {
+                best = (p, t);
+            }
+            row.push(format!("{t:.3}"));
+        }
+        let refs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
+        print_row(&refs, &widths);
+        println!("        └ sweet spot at PU={} (larger networks saturate later)", best.0);
+    }
+    println!(
+        "  [paper: more PUs help, returns diminish at a size-dependent point, and\n\
+         \u{20}  oversubscription becomes slower as messaging costs dominate]\n"
+    );
+
+    // --- (bottom) intervention ladder ---------------------------------
+    // Measure epidemic activity under the base stack, then project the
+    // per-stack runtime at deployment scale (4 nodes × 28 ranks, the
+    // paper's medium-region allocation; mean degree 26 as in the
+    // national networks).
+    println!("Fig. 7 (bottom) — runtime by intervention stack (projected at deployment scale)");
+    let data = region(&reg, "VA", 500.0);
+    let res = run_covid(
+        &data,
+        base_case(states::SYMPTOMATIC, 30, 40, 100, 0.5, 0.6),
+        ticks,
+        1,
+        1,
+    );
+    let occ_sym = res.output.occupancy(states::SYMPTOMATIC);
+    let occ_asym = res.output.occupancy(states::ASYMPTOMATIC);
+    let mean = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+    // Scale the measured prevalence *fractions* up to a deployment-size
+    // region with the paper's contact density.
+    let n_deploy = 6_000_000usize;
+    let frac_sym = mean(&occ_sym) / data.population.len() as f64;
+    let frac_asym = mean(&occ_asym) / data.population.len() as f64;
+    let activity = ActivityProfile {
+        mean_symptomatic: frac_sym * n_deploy as f64,
+        mean_asymptomatic: frac_asym * n_deploy as f64,
+        mean_degree: 26.0,
+        n_nodes: n_deploy,
+    };
+    println!(
+        "  measured activity profile: {:.2}% symptomatic, {:.2}% asymptomatic on average",
+        frac_sym * 100.0,
+        frac_asym * 100.0
+    );
+    let ranks = 112; // 4 nodes × 28 cores
+    let base_tick =
+        n_deploy as f64 * activity.mean_degree * MpiCostModel::default().per_edge_secs
+            / ranks as f64;
+    print_row(&["stack", "tick (ms)", "vs base"], &[16, 11, 9]);
+    let stacks: [(&str, Stack); 6] = [
+        ("base(VHI+SC+SH)", Stack::Base),
+        ("base+RO", Stack::Ro),
+        ("base+TA", Stack::Ta),
+        ("base+PS", Stack::Ps { period_days: 14.0 }),
+        ("base+D1CT", Stack::D1ct { detection: 0.5 }),
+        ("base+D2CT", Stack::D2ct { detection: 0.5 }),
+    ];
+    for (name, stack) in stacks {
+        let extra = intervention_tick_cost(stack, &activity, &MpiCostModel::default(), ranks)
+            / ranks as f64;
+        let t = base_tick + extra;
+        print_row(
+            &[name, &format!("{:.2}", t * 1e3), &format!("{:.2}×", t / base_tick)],
+            &[16, 11, 9],
+        );
+    }
+    println!(
+        "  [paper: RO and TA marginal; PS and D1CT significant; D2CT ≈ +300%]"
+    );
+}

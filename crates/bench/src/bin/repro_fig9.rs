@@ -1,0 +1,107 @@
+//! Figure 9 — CDFs of nightly CPU utilization on the remote cluster.
+//!
+//! Left panel: 9 workflow days simulating all 51 regions. Right panel:
+//! 24 days simulating many cells for Virginia only. Both executed with
+//! FFDT-DC ordering (the deployed configuration); the NFDT-DC ordering
+//! is run on the same workloads for the paper's before/after contrast
+//! (initial runs: 44.237%–55.579% utilization; final: medians 96.698%
+//! and 95.534%).
+
+use epiflow_hpcsim::schedule::{pack, pack_arrival, PackAlgo};
+use epiflow_hpcsim::slurm::SlurmSim;
+use epiflow_hpcsim::task::WorkloadSpec;
+use epiflow_hpcsim::ClusterSpec;
+use epiflow_surveillance::{RegionRegistry, Scale};
+
+/// Execute one nightly workload.
+///
+/// `deployed = true` is the paper's final configuration: FFDT-DC with
+/// largest jobs first, handed to Slurm job arrays that do real-time
+/// (backfill) optimization. `false` is the initial configuration:
+/// next-fit chunks in arrival order, dispatched chunk-by-chunk with a
+/// barrier per chunk — the rigid srun-per-level submission the group
+/// started with.
+fn run_day(reg: &RegionRegistry, spec: &WorkloadSpec, deployed: bool) -> f64 {
+    let tasks = spec.generate(reg, Scale::default());
+    let bound = |_r: usize| 16usize;
+    if deployed {
+        let plan = pack(&tasks, ClusterSpec::bridges().nodes, bound, PackAlgo::FfdtDc);
+        plan.validate(&tasks, bound).expect("valid plan");
+        let order: Vec<usize> =
+            plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+        SlurmSim::new(ClusterSpec::bridges()).run(&tasks, &order, bound).utilization
+    } else {
+        let plan = pack_arrival(&tasks, ClusterSpec::bridges().nodes, bound, PackAlgo::NfdtDc);
+        plan.validate(&tasks, bound).expect("valid plan");
+        plan.execute(&tasks).utilization
+    }
+}
+
+fn cdf_line(name: &str, mut xs: Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| xs[((xs.len() - 1) as f64 * p).round() as usize] * 100.0;
+    println!(
+        "{name:<24} n={:<3} min={:6.2}%  p25={:6.2}%  median={:6.2}%  p75={:6.2}%  max={:6.2}%",
+        xs.len(),
+        q(0.0),
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        q(1.0)
+    );
+}
+
+fn main() {
+    let reg = RegionRegistry::new();
+
+    // Left: 9 all-state workflow days (different nightly workloads).
+    let mut ff_all = Vec::new();
+    let mut nf_all = Vec::new();
+    for day in 0..9u64 {
+        let spec = WorkloadSpec {
+            cells: 10 + (day % 3) as u32,
+            replicates: 15,
+            seed: 0xF16 + day,
+            ..WorkloadSpec::prediction()
+        };
+        ff_all.push(run_day(&reg, &spec, true));
+        nf_all.push(run_day(&reg, &spec, false));
+    }
+
+    // Right: 24 Virginia-only days with many cells.
+    let va = reg.by_abbrev("VA").unwrap().id;
+    let mut ff_va = Vec::new();
+    let mut nf_va = Vec::new();
+    for day in 0..24u64 {
+        let spec = WorkloadSpec {
+            cells: 250 + (day % 5) as u32 * 25,
+            replicates: 1,
+            regions: vec![va],
+            seed: 0x7A + day,
+            ..WorkloadSpec::calibration()
+        };
+        ff_va.push(run_day(&reg, &spec, true));
+        nf_va.push(run_day(&reg, &spec, false));
+    }
+
+    println!("Figure 9 — remote-cluster utilization CDFs\n");
+    println!("(left) all-51-region workflow days:");
+    cdf_line("  FFDT-DC (deployed)", ff_all.clone());
+    cdf_line("  NFDT-DC (initial)", nf_all.clone());
+    println!("  [paper: FFDT-DC median 96.698%; NFDT-DC initial runs 44.237%–55.579%]\n");
+    println!("(right) Virginia-only workflow days:");
+    cdf_line("  FFDT-DC (deployed)", ff_va.clone());
+    cdf_line("  NFDT-DC (initial)", nf_va.clone());
+    println!("  [paper: FFDT-DC median 95.534%]");
+
+    let med = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    println!(
+        "\nheadline: FFDT-DC improves utilization over NFDT-DC by {:.1} points (all-state) \
+         and {:.1} points (VA-only)",
+        (med(ff_all) - med(nf_all)) * 100.0,
+        (med(ff_va) - med(nf_va)) * 100.0
+    );
+}

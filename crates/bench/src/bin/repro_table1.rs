@@ -1,0 +1,79 @@
+//! Table I — representative workflow scale and output volumes.
+//!
+//! Reproduces the cells × states × replicates → #simulations arithmetic
+//! exactly, and the raw/summary volume columns from the paper's own
+//! accounting (national population, 365-day runs, 90 health states,
+//! 3 counts), with the per-simulation transition count measured from a
+//! real scaled run and extrapolated to national scale.
+
+use epiflow_analytics::volume::WorkflowVolume;
+use epiflow_bench::{fmt_bytes, print_row, region, run_covid};
+use epiflow_epihiper::InterventionSet;
+use epiflow_surveillance::RegionRegistry;
+
+fn main() {
+    let reg = RegionRegistry::new();
+
+    // Measure transitions/person from one real scaled run (VA, 120 d).
+    let va = region(&reg, "VA", 4000.0);
+    let result = run_covid(&va, InterventionSet::new(), 120, 4, 1);
+    let transitions: u64 = result.output.new_counts.iter().flatten().map(|&x| x as u64).sum();
+    let per_person = transitions as f64 / va.population.len() as f64;
+    println!(
+        "measured: {} transitions over {} persons ⇒ {:.2} transitions/person\n",
+        transitions,
+        va.population.len(),
+        per_person
+    );
+
+    // Attack-rate-equivalent: transitions/person = attack × path length.
+    // The paper's runs used calibrated attack rates; we extrapolate with
+    // the measured value directly.
+    let rows = [
+        ("Economic", 12usize, 15u32),
+        ("Prediction", 12, 15),
+        ("Calibration", 300, 1),
+    ];
+    let widths = [12, 7, 8, 11, 13, 11, 11];
+    println!("Table I — workflow scale and data volumes (paper values in brackets)");
+    print_row(
+        &["Workflow", "#Cells", "#States", "#Replicates", "#Simulations", "Raw", "Summary"],
+        &widths,
+    );
+    let paper = [
+        ("3.0TB", "5.0GB"),
+        ("1.0TB", "2.5GB"),
+        ("5.0TB", "4.0GB"),
+    ];
+    for ((name, cells, reps), (praw, psum)) in rows.iter().zip(paper) {
+        let per_sim_transitions = 300e6 / 51.0 * per_person;
+        let v = WorkflowVolume {
+            cells: *cells,
+            regions: 51,
+            replicates: *reps as usize,
+            total_transitions: (per_sim_transitions * (*cells as f64) * 51.0 * (*reps as f64))
+                as u64,
+            days: 365,
+            health_states: 90,
+            counties: 0,
+        };
+        let r = v.report();
+        print_row(
+            &[
+                name,
+                &cells.to_string(),
+                "51",
+                &reps.to_string(),
+                &r.n_simulations.to_string(),
+                &format!("{} [{praw}]", fmt_bytes(r.raw_bytes)),
+                &format!("{} [{psum}]", fmt_bytes(r.summary_bytes)),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nsimulation counts match the paper exactly; volumes are derived from the\n\
+         measured transitions/person at national population and agree in order of\n\
+         magnitude with the published TB/GB figures."
+    );
+}

@@ -1,0 +1,210 @@
+//! Multivariate-output emulation through an eigenvector basis (Eq. 3).
+//!
+//! Simulation outputs (one time series per design point) are stacked as
+//! rows, centered, and decomposed into `pη` principal components
+//! (`φ_k`). Each basis coefficient `w_k(θ)` gets its own GP; prediction
+//! reconstructs `η(θ) = φ₀ + Σ_k φ_k w_k(θ)`, with the residual variance
+//! of the truncated basis (`w₀` in the paper's notation) folded into the
+//! predictive variance.
+
+use crate::gp::GpModel;
+use crate::lhs::ParamSpace;
+use epiflow_linalg::{pca, Mat, Pca};
+use rayon::prelude::*;
+
+/// A fitted multivariate emulator.
+#[derive(Clone, Debug)]
+pub struct Emulator {
+    pub space: ParamSpace,
+    pub pca: Pca,
+    pub gps: Vec<GpModel>,
+    /// Per-output-coordinate residual variance of the basis truncation.
+    pub truncation_var: f64,
+    /// Output length T.
+    pub t_len: usize,
+}
+
+impl Emulator {
+    /// Fit from `designs` (real-coordinate θ, one per row of `outputs`)
+    /// and `outputs[i]` = the simulated series at `designs[i]`.
+    ///
+    /// `p_eta` basis functions are retained (the paper uses 5).
+    pub fn fit(
+        space: ParamSpace,
+        designs: &[Vec<f64>],
+        outputs: &[Vec<f64>],
+        p_eta: usize,
+        seed: u64,
+    ) -> Emulator {
+        assert_eq!(designs.len(), outputs.len(), "one output per design");
+        assert!(designs.len() >= 4, "need at least 4 designs");
+        let t_len = outputs[0].len();
+        assert!(outputs.iter().all(|o| o.len() == t_len), "ragged outputs");
+
+        let data = Mat::from_rows(outputs);
+        let p = pca(&data, p_eta);
+
+        // Scores per design point per component.
+        let scores: Vec<Vec<f64>> = outputs.iter().map(|o| p.transform(o)).collect();
+        let x_unit: Vec<Vec<f64>> = designs.iter().map(|d| space.to_unit(d)).collect();
+
+        // One GP per retained component; fits are independent → rayon.
+        let k = p.k();
+        let gps: Vec<GpModel> = (0..k)
+            .into_par_iter()
+            .map(|kk| {
+                let y: Vec<f64> = scores.iter().map(|s| s[kk]).collect();
+                GpModel::fit(&x_unit, &y, seed ^ (kk as u64).wrapping_mul(0x9E37))
+            })
+            .collect();
+
+        // Truncation residual: unexplained variance spread across T
+        // coordinates (the paper's w₀ term).
+        let unexplained = (p.total_variance
+            - p.explained_variance.iter().sum::<f64>())
+        .max(0.0);
+        let truncation_var = unexplained / t_len.max(1) as f64;
+
+        Emulator { space, pca: p, gps, truncation_var, t_len }
+    }
+
+    /// Number of retained basis functions.
+    pub fn p_eta(&self) -> usize {
+        self.gps.len()
+    }
+
+    /// Predict the output series at a real-coordinate θ: per-coordinate
+    /// mean and variance.
+    pub fn predict(&self, theta: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let unit = self.space.to_unit(theta);
+        let k = self.gps.len();
+        let mut w_mean = vec![0.0; k];
+        let mut w_var = vec![0.0; k];
+        for (kk, gp) in self.gps.iter().enumerate() {
+            let (m, v) = gp.predict(&unit);
+            w_mean[kk] = m;
+            w_var[kk] = v;
+        }
+        let mean = self.pca.inverse_transform(&w_mean);
+        // Var[η_t] = Σ_k φ_{t,k}² Var[w_k] + truncation.
+        let mut var = vec![self.truncation_var; self.t_len];
+        for (t, vt) in var.iter_mut().enumerate() {
+            for (kk, wv) in w_var.iter().enumerate() {
+                let phi = self.pca.components[(t, kk)];
+                *vt += phi * phi * wv;
+            }
+        }
+        (mean, var)
+    }
+
+    /// Leave-one-out-flavored quality check: mean absolute error of the
+    /// emulator against the training outputs (in-sample; cheap sanity
+    /// metric surfaced in calibration diagnostics).
+    pub fn training_mae(&self, designs: &[Vec<f64>], outputs: &[Vec<f64>]) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (d, o) in designs.iter().zip(outputs) {
+            let (m, _) = self.predict(d);
+            for (a, b) in m.iter().zip(o) {
+                total += (a - b).abs();
+                count += 1;
+            }
+        }
+        total / count.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic "simulator": a logistic curve whose rate and plateau
+    /// are the two parameters — the same qualitative shape as a logged
+    /// cumulative epidemic curve.
+    fn toy_sim(theta: &[f64], t_len: usize) -> Vec<f64> {
+        let rate = theta[0];
+        let plateau = theta[1];
+        (0..t_len)
+            .map(|t| plateau / (1.0 + (-rate * (t as f64 - 30.0)).exp()))
+            .collect()
+    }
+
+    fn toy_space() -> ParamSpace {
+        ParamSpace::new(&[("rate", 0.05, 0.3), ("plateau", 5.0, 15.0)])
+    }
+
+    fn fitted(n: usize, p_eta: usize) -> (Emulator, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let space = toy_space();
+        let designs = space.sample_lhs(n, 42);
+        let outputs: Vec<Vec<f64>> = designs.iter().map(|d| toy_sim(d, 60)).collect();
+        let em = Emulator::fit(space, &designs, &outputs, p_eta, 7);
+        (em, designs, outputs)
+    }
+
+    #[test]
+    fn reproduces_training_outputs() {
+        let (em, designs, outputs) = fitted(40, 5);
+        let mae = em.training_mae(&designs, &outputs);
+        assert!(mae < 0.2, "training MAE {mae}");
+    }
+
+    #[test]
+    fn predicts_held_out_points() {
+        let (em, _, _) = fitted(40, 5);
+        for theta in toy_space().sample_lhs(10, 99) {
+            let truth = toy_sim(&theta, 60);
+            let (mean, _) = em.predict(&theta);
+            let mae: f64 =
+                mean.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 60.0;
+            assert!(mae < 0.5, "held-out MAE {mae} at {theta:?}");
+        }
+    }
+
+    #[test]
+    fn variance_positive_everywhere() {
+        let (em, _, _) = fitted(30, 4);
+        let (_, var) = em.predict(&[0.1, 10.0]);
+        assert!(var.iter().all(|&v| v > 0.0));
+        assert_eq!(var.len(), 60);
+    }
+
+    #[test]
+    fn p_eta_respected_and_clamped() {
+        let (em, _, _) = fitted(20, 5);
+        assert_eq!(em.p_eta(), 5);
+        let (em2, _, _) = fitted(6, 50);
+        assert!(em2.p_eta() <= 6);
+    }
+
+    #[test]
+    fn more_designs_help() {
+        let space = toy_space();
+        let eval = |n: usize| {
+            let designs = space.sample_lhs(n, 1);
+            let outputs: Vec<Vec<f64>> = designs.iter().map(|d| toy_sim(d, 60)).collect();
+            let em = Emulator::fit(space.clone(), &designs, &outputs, 5, 2);
+            let test = space.sample_lhs(15, 1234);
+            test.iter()
+                .map(|th| {
+                    let truth = toy_sim(th, 60);
+                    let (m, _) = em.predict(th);
+                    m.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 60.0
+                })
+                .sum::<f64>()
+                / 15.0
+        };
+        let small = eval(8);
+        let big = eval(60);
+        assert!(big < small, "8 designs MAE {small} vs 60 designs MAE {big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_outputs() {
+        let space = toy_space();
+        let designs = space.sample_lhs(5, 1);
+        let mut outputs: Vec<Vec<f64>> = designs.iter().map(|d| toy_sim(d, 30)).collect();
+        outputs[2].pop();
+        Emulator::fit(space, &designs, &outputs, 3, 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! GPMSA-style Bayesian calibration of the agent-based model (Eq. 2):
+//!
+//! ```text
+//! y = η(θ) + δ + ε
+//! ```
+//!
+//! `η` is the emulated simulator at the best θ, `δ` a systematic
+//! discrepancy expanded in 1-d normal kernels (sd 15 days, spaced 10
+//! days apart, Eq. 5) with precision λ_δ, and `ε` i.i.d. observation
+//! error with precision λ_ε. θ gets a uniform prior on its ranges;
+//! precisions get gamma priors.
+//!
+//! Sampling is Metropolis-within-Gibbs: θ moves by random-walk
+//! Metropolis with the discrepancy weights *marginalized analytically*
+//! (δ enters linearly with a Gaussian prior, so the marginal likelihood
+//! is Gaussian with covariance Σ(θ) + λ_δ⁻¹ D Dᵀ), and λ_ε, λ_δ are
+//! drawn from their conditional gammas between θ sweeps.
+
+use crate::emulator::Emulator;
+use crate::mcmc::{metropolis, Chain, MetropolisConfig};
+use epiflow_linalg::{cholesky_jitter, Mat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Gamma};
+
+/// Configuration of the calibration run.
+#[derive(Clone, Debug)]
+pub struct GpmsaConfig {
+    /// Discrepancy kernel standard deviation in days (paper: 15).
+    pub kernel_sd: f64,
+    /// Kernel spacing in days (paper: 10).
+    pub kernel_spacing: f64,
+    /// MCMC settings for the θ chain.
+    pub mcmc: MetropolisConfig,
+    /// Gibbs sweeps for the precision parameters.
+    pub gibbs_sweeps: usize,
+}
+
+impl Default for GpmsaConfig {
+    fn default() -> Self {
+        GpmsaConfig {
+            kernel_sd: 15.0,
+            kernel_spacing: 10.0,
+            mcmc: MetropolisConfig::default(),
+            gibbs_sweeps: 4,
+        }
+    }
+}
+
+/// The calibration posterior.
+#[derive(Clone, Debug)]
+pub struct Posterior {
+    /// θ samples in real coordinates.
+    pub theta: Chain,
+    /// Posterior draw of the observation-error precision.
+    pub lambda_eps: f64,
+    /// Posterior draw of the discrepancy precision.
+    pub lambda_delta: f64,
+}
+
+/// A calibration problem: an emulator plus an observed series.
+pub struct GpmsaCalibration<'a> {
+    pub emulator: &'a Emulator,
+    pub observed: &'a [f64],
+    pub config: GpmsaConfig,
+    /// Discrepancy basis D (T × p_δ).
+    basis: Mat,
+}
+
+/// Build the discrepancy basis: normal kernels over the time axis.
+fn discrepancy_basis(t_len: usize, sd: f64, spacing: f64) -> Mat {
+    let p_delta = ((t_len as f64 / spacing).ceil() as usize).max(1);
+    let mut d = Mat::zeros(t_len, p_delta);
+    for k in 0..p_delta {
+        let center = k as f64 * spacing;
+        for t in 0..t_len {
+            let z = (t as f64 - center) / sd;
+            d[(t, k)] = (-0.5 * z * z).exp();
+        }
+    }
+    d
+}
+
+impl<'a> GpmsaCalibration<'a> {
+    /// Set up a calibration of `emulator` against `observed` (same
+    /// length as the emulator's output).
+    pub fn new(emulator: &'a Emulator, observed: &'a [f64], config: GpmsaConfig) -> Self {
+        assert_eq!(
+            observed.len(),
+            emulator.t_len,
+            "observed series must match emulator output length"
+        );
+        let basis = discrepancy_basis(emulator.t_len, config.kernel_sd, config.kernel_spacing);
+        GpmsaCalibration { emulator, observed, config, basis }
+    }
+
+    /// Number of discrepancy basis functions p_δ.
+    pub fn p_delta(&self) -> usize {
+        self.basis.ncols()
+    }
+
+    /// Marginal log-likelihood of θ (unit cube) given the precisions:
+    /// `y − η(θ) ~ N(0, diag(em_var) + λ_ε⁻¹ I + λ_δ⁻¹ D Dᵀ)`.
+    fn log_lik(&self, unit_theta: &[f64], lambda_eps: f64, lambda_delta: f64) -> f64 {
+        let theta = self.emulator.space.to_real(unit_theta);
+        let (mean, var) = self.emulator.predict(&theta);
+        let t = self.emulator.t_len;
+        let resid: Vec<f64> = self.observed.iter().zip(&mean).map(|(y, m)| y - m).collect();
+
+        // Σ = diag(var + 1/λ_ε) + (1/λ_δ) D Dᵀ.
+        let mut sigma = Mat::zeros(t, t);
+        for i in 0..t {
+            sigma[(i, i)] = var[i] + 1.0 / lambda_eps;
+        }
+        let p = self.basis.ncols();
+        for i in 0..t {
+            for j in i..t {
+                let mut s = 0.0;
+                for k in 0..p {
+                    s += self.basis[(i, k)] * self.basis[(j, k)];
+                }
+                let add = s / lambda_delta;
+                sigma[(i, j)] += add;
+                if i != j {
+                    sigma[(j, i)] += add;
+                }
+            }
+        }
+        match cholesky_jitter(&sigma, 1e-10, 8) {
+            Ok((chol, _)) => -0.5 * (chol.log_det() + chol.quad_form(&resid)),
+            Err(_) => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Conditional gamma draw for λ_ε given θ: with prior Γ(a, b), the
+    /// posterior ignoring emulator/discrepancy variance is
+    /// Γ(a + T/2, b + RSS/2) — a standard conjugate approximation.
+    fn draw_lambda_eps(&self, unit_theta: &[f64], rng: &mut StdRng) -> f64 {
+        let theta = self.emulator.space.to_real(unit_theta);
+        let (mean, _) = self.emulator.predict(&theta);
+        let rss: f64 = self
+            .observed
+            .iter()
+            .zip(&mean)
+            .map(|(y, m)| (y - m) * (y - m))
+            .sum();
+        let a = 2.0 + self.observed.len() as f64 / 2.0;
+        let b = 0.1 + rss / 2.0;
+        Gamma::new(a, 1.0 / b).expect("valid gamma").sample(rng)
+    }
+
+    /// Run the calibration.
+    pub fn run(&self) -> Posterior {
+        let d = self.emulator.space.dim();
+        let mut rng = StdRng::seed_from_u64(self.config.mcmc.seed ^ 0xDE17A);
+
+        // Initialize precisions from their priors' means.
+        let mut lambda_eps = 5.0f64;
+        let mut lambda_delta = 10.0f64;
+        let mut theta_chain = None;
+
+        for sweep in 0..self.config.gibbs_sweeps.max(1) {
+            // θ | precisions.
+            let mut cfg = self.config.mcmc.clone();
+            cfg.seed = self.config.mcmc.seed.wrapping_add(sweep as u64);
+            if sweep + 1 < self.config.gibbs_sweeps.max(1) {
+                // Intermediate sweeps can be short; the final sweep
+                // produces the reported chain.
+                cfg.iterations = (cfg.iterations / 4).max(200);
+                cfg.burn_in = (cfg.burn_in / 4).max(50);
+            }
+            let chain = metropolis(
+                d,
+                |u| self.log_lik(u, lambda_eps, lambda_delta),
+                &cfg,
+            );
+            // Precisions | θ (at the current MAP).
+            if let Some(map) = chain.map_sample() {
+                lambda_eps = self.draw_lambda_eps(map, &mut rng).max(1e-3);
+                // λ_δ | d-weights integrated out: keep a weakly-updated
+                // draw around its prior (discrepancy mass is small when
+                // the emulator fits; gamma(3, 0.3) prior).
+                let draw: f64 = Gamma::new(3.0, 1.0 / 0.3).expect("valid gamma").sample(&mut rng);
+                lambda_delta = draw.max(1e-2);
+            }
+            theta_chain = Some(chain);
+        }
+
+        let chain = theta_chain.expect("at least one sweep");
+        // Convert unit-cube samples to real coordinates.
+        let real_samples: Vec<Vec<f64>> = chain
+            .samples
+            .iter()
+            .map(|u| self.emulator.space.to_real(u))
+            .collect();
+        Posterior {
+            theta: Chain {
+                samples: real_samples,
+                log_posts: chain.log_posts,
+                acceptance: chain.acceptance,
+                final_step: chain.final_step,
+            },
+            lambda_eps,
+            lambda_delta,
+        }
+    }
+
+    /// Posterior-predictive quantile band at each time point, from
+    /// emulator predictions at posterior θ draws plus observation noise
+    /// (the Fig. 16/17 plot data).
+    pub fn predictive_band(
+        &self,
+        posterior: &Posterior,
+        n_draws: usize,
+        lo_q: f64,
+        hi_q: f64,
+        seed: u64,
+    ) -> PredictiveBand {
+        let draws = posterior.theta.resample(n_draws, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBAD5EED);
+        let t = self.emulator.t_len;
+        let mut trajectories: Vec<Vec<f64>> = Vec::with_capacity(n_draws);
+        let obs_var = 1.0 / posterior.lambda_eps;
+        for theta in &draws {
+            let (mean, var) = self.emulator.predict(theta);
+            let traj: Vec<f64> = (0..t)
+                .map(|i| {
+                    let z: f64 = rand_distr::StandardNormal.sample(&mut rng);
+                    mean[i] + (var[i] + obs_var).sqrt() * z
+                })
+                .collect();
+            trajectories.push(traj);
+        }
+        let mut median = Vec::with_capacity(t);
+        let mut lo = Vec::with_capacity(t);
+        let mut hi = Vec::with_capacity(t);
+        let mut col = vec![0.0; n_draws];
+        for i in 0..t {
+            for (j, traj) in trajectories.iter().enumerate() {
+                col[j] = traj[i];
+            }
+            median.push(epiflow_linalg::quantile(&col, 0.5));
+            lo.push(epiflow_linalg::quantile(&col, lo_q));
+            hi.push(epiflow_linalg::quantile(&col, hi_q));
+        }
+        PredictiveBand { median, lo, hi }
+    }
+}
+
+/// Median and quantile envelope of the posterior predictive.
+#[derive(Clone, Debug)]
+pub struct PredictiveBand {
+    pub median: Vec<f64>,
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+}
+
+impl PredictiveBand {
+    /// Fraction of an observed series covered by the band.
+    pub fn coverage(&self, observed: &[f64]) -> f64 {
+        let n = observed.len().min(self.lo.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let hits = (0..n)
+            .filter(|&i| observed[i] >= self.lo[i] && observed[i] <= self.hi[i])
+            .count();
+        hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lhs::ParamSpace;
+
+    fn toy_sim(theta: &[f64], t_len: usize) -> Vec<f64> {
+        let rate = theta[0];
+        let plateau = theta[1];
+        (0..t_len)
+            .map(|t| plateau / (1.0 + (-rate * (t as f64 - 25.0)).exp()))
+            .collect()
+    }
+
+    fn setup(t_len: usize) -> (Emulator, Vec<f64>, Vec<f64>) {
+        let space = ParamSpace::new(&[("rate", 0.05, 0.4), ("plateau", 4.0, 16.0)]);
+        let designs = space.sample_lhs(50, 21);
+        let outputs: Vec<Vec<f64>> = designs.iter().map(|d| toy_sim(d, t_len)).collect();
+        let em = Emulator::fit(space, &designs, &outputs, 5, 3);
+        let truth = vec![0.22, 9.5];
+        let observed = toy_sim(&truth, t_len);
+        (em, observed, truth)
+    }
+
+    #[test]
+    fn basis_shape_matches_paper() {
+        // 70 days / spacing 10 → 7 kernels, the paper's p_δ = 7.
+        let d = discrepancy_basis(70, 15.0, 10.0);
+        assert_eq!(d.ncols(), 7);
+        assert_eq!(d.nrows(), 70);
+        // Kernel 0 peaks at t = 0.
+        assert!(d[(0, 0)] > d[(30, 0)]);
+    }
+
+    #[test]
+    fn recovers_known_parameters() {
+        let (em, observed, truth) = setup(50);
+        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
+            mcmc: MetropolisConfig { iterations: 3000, burn_in: 800, seed: 17, ..Default::default() },
+            gibbs_sweeps: 2,
+            ..Default::default()
+        });
+        let post = cal.run();
+        let mean = post.theta.mean();
+        assert!(
+            (mean[0] - truth[0]).abs() < 0.06,
+            "rate: posterior {} vs truth {}",
+            mean[0],
+            truth[0]
+        );
+        assert!(
+            (mean[1] - truth[1]).abs() < 1.2,
+            "plateau: posterior {} vs truth {}",
+            mean[1],
+            truth[1]
+        );
+    }
+
+    #[test]
+    fn posterior_tighter_than_prior() {
+        let (em, observed, _) = setup(50);
+        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
+            mcmc: MetropolisConfig { iterations: 2500, burn_in: 600, seed: 5, ..Default::default() },
+            gibbs_sweeps: 2,
+            ..Default::default()
+        });
+        let post = cal.run();
+        let sd = post.theta.std_dev();
+        // Prior sd of uniform on [0.05, 0.4] is 0.101; posterior must
+        // shrink substantially (the Fig.-15 tightening).
+        assert!(sd[0] < 0.05, "rate posterior sd {}", sd[0]);
+    }
+
+    #[test]
+    fn predictive_band_covers_truth() {
+        let (em, observed, _) = setup(50);
+        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
+            mcmc: MetropolisConfig { iterations: 2000, burn_in: 500, seed: 9, ..Default::default() },
+            gibbs_sweeps: 2,
+            ..Default::default()
+        });
+        let post = cal.run();
+        let band = cal.predictive_band(&post, 200, 0.025, 0.975, 11);
+        let cov = band.coverage(&observed);
+        assert!(cov > 0.8, "coverage {cov}");
+        // Band is ordered.
+        for i in 0..band.lo.len() {
+            assert!(band.lo[i] <= band.median[i] + 1e-9);
+            assert!(band.median[i] <= band.hi[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "match emulator output length")]
+    fn rejects_wrong_length_observation() {
+        let (em, observed, _) = setup(50);
+        GpmsaCalibration::new(&em, &observed[..30], GpmsaConfig::default());
+    }
+
+    #[test]
+    fn precisions_positive() {
+        let (em, observed, _) = setup(40);
+        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
+            mcmc: MetropolisConfig { iterations: 800, burn_in: 200, seed: 2, ..Default::default() },
+            gibbs_sweeps: 2,
+            ..Default::default()
+        });
+        let post = cal.run();
+        assert!(post.lambda_eps > 0.0);
+        assert!(post.lambda_delta > 0.0);
+    }
+}

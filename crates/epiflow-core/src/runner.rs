@@ -1,0 +1,299 @@
+//! Executing ⟨cell, region, replicate⟩ grids of EpiHiper simulations.
+
+use crate::design::{CellConfig, ExtraIntervention, StudyDesign};
+use epiflow_epihiper::covid::{covid19_model, states};
+use epiflow_epihiper::disease::N_AGE_GROUPS;
+use epiflow_epihiper::interventions::{
+    ContactTracing, PartialReopening, PulsingShutdown, SchoolClosure, StayAtHome, TestAndIsolate,
+    VoluntaryHomeIsolation,
+};
+use epiflow_epihiper::{DiseaseModel, InterventionSet, SimConfig, SimOutput, Simulation};
+use epiflow_surveillance::RegionId;
+use epiflow_synthpop::builder::RegionData;
+use rayon::prelude::*;
+
+/// Summary of one simulation run (the "summary output" shipped back to
+/// the home cluster — aggregates, not raw transitions).
+#[derive(Clone, Debug)]
+pub struct CellRunSummary {
+    pub region: RegionId,
+    pub cell: u32,
+    pub replicate: u32,
+    /// log(1 + cumulative symptomatic) per day — the calibration
+    /// observable.
+    pub log_cum_symptomatic: Vec<f64>,
+    /// Daily new symptomatic cases.
+    pub daily_cases: Vec<f64>,
+    /// The full aggregate output (no transition log unless requested).
+    pub output: SimOutput,
+    /// Wall-clock runtime of the tick loop.
+    pub elapsed_secs: f64,
+    /// Peak estimated resident memory in bytes.
+    pub peak_memory_bytes: u64,
+}
+
+/// Apply a cell's disease-parameter overrides to the COVID-19 model.
+pub fn configure_model(cell: &CellConfig) -> DiseaseModel {
+    let mut model = covid19_model();
+    model.transmissibility = cell.transmissibility;
+    // Symptomatic fraction: rebalance the Exposed branch.
+    let symp = cell.symptomatic_fraction.clamp(0.0, 1.0);
+    for p in &mut model.progressions {
+        if p.from == states::EXPOSED {
+            let target = if p.to == states::ASYMPTOMATIC { 1.0 - symp } else { symp };
+            p.prob = [target; N_AGE_GROUPS];
+        }
+    }
+    debug_assert!(model.validate().is_ok());
+    model
+}
+
+/// Build the intervention stack for a cell: the base VHI+SC+SH plus any
+/// extras.
+pub fn configure_interventions(cell: &CellConfig) -> InterventionSet {
+    let mut set = InterventionSet::new()
+        .with(Box::new(VoluntaryHomeIsolation {
+            symptomatic: states::SYMPTOMATIC,
+            compliance: cell.vhi_compliance,
+            duration: 14,
+        }))
+        .with(Box::new(SchoolClosure { start: cell.sc_start, end: u32::MAX }))
+        .with(Box::new(StayAtHome::new(cell.sh_start, cell.sh_end, cell.sh_compliance)));
+    for extra in &cell.extras {
+        match *extra {
+            ExtraIntervention::Ro { day, level } => {
+                set.push(Box::new(PartialReopening { day, level }));
+            }
+            ExtraIntervention::Ta { start, detection } => {
+                set.push(Box::new(TestAndIsolate {
+                    asymptomatic: states::ASYMPTOMATIC,
+                    detection,
+                    duration: 14,
+                    start,
+                }));
+            }
+            ExtraIntervention::Ps { start, on_days, off_days } => {
+                set.push(Box::new(PulsingShutdown::new(
+                    start,
+                    on_days,
+                    off_days,
+                    cell.sh_compliance,
+                )));
+            }
+            ExtraIntervention::D1ct { detection, compliance } => {
+                set.push(Box::new(ContactTracing {
+                    symptomatic: states::SYMPTOMATIC,
+                    detection,
+                    compliance,
+                    duration: 14,
+                    distance: 1,
+                }));
+            }
+            ExtraIntervention::D2ct { detection, compliance } => {
+                set.push(Box::new(ContactTracing {
+                    symptomatic: states::SYMPTOMATIC,
+                    detection,
+                    compliance,
+                    duration: 14,
+                    distance: 2,
+                }));
+            }
+        }
+    }
+    set
+}
+
+/// Run one ⟨cell, region, replicate⟩ simulation.
+pub fn run_cell(
+    data: &RegionData,
+    cell: &CellConfig,
+    replicate: u32,
+    n_partitions: usize,
+    record_transitions: bool,
+    base_seed: u64,
+) -> CellRunSummary {
+    let model = configure_model(cell);
+    let interventions = configure_interventions(cell);
+    let age_group: Vec<u8> =
+        data.population.persons.iter().map(|p| p.age_group().index() as u8).collect();
+    let county: Vec<u16> = data.population.persons.iter().map(|p| p.county).collect();
+
+    let seed = base_seed
+        ^ (data.region as u64) << 40
+        ^ (cell.cell as u64) << 16
+        ^ replicate as u64;
+    let mut sim = Simulation::new(
+        &data.network,
+        model,
+        age_group,
+        county,
+        interventions,
+        SimConfig {
+            ticks: cell.days,
+            seed,
+            n_partitions,
+            epsilon: 16,
+            initial_infections: cell.initial_infections,
+            record_transitions,
+        },
+    );
+    let result = sim.run();
+
+    let cum = result.output.cumulative(states::SYMPTOMATIC);
+    let log_cum: Vec<f64> = cum.iter().map(|&c| (c as f64 + 1.0).ln()).collect();
+    let daily: Vec<f64> = result
+        .output
+        .daily_new(states::SYMPTOMATIC)
+        .iter()
+        .map(|&x| x as f64)
+        .collect();
+    let peak_mem = result.output.memory_bytes.iter().copied().max().unwrap_or(0);
+
+    CellRunSummary {
+        region: data.region,
+        cell: cell.cell,
+        replicate,
+        log_cum_symptomatic: log_cum,
+        daily_cases: daily,
+        output: result.output,
+        elapsed_secs: result.elapsed.as_secs_f64(),
+        peak_memory_bytes: peak_mem,
+    }
+}
+
+/// Run a full design on one region, parallel over ⟨cell, replicate⟩.
+pub fn run_design(
+    data: &RegionData,
+    design: &StudyDesign,
+    n_partitions: usize,
+    base_seed: u64,
+) -> Vec<CellRunSummary> {
+    let jobs: Vec<(u32, u32)> = design
+        .cells
+        .iter()
+        .flat_map(|c| (0..design.replicates).map(move |r| (c.cell, r)))
+        .collect();
+    jobs.par_iter()
+        .map(|&(cell_id, rep)| {
+            let cell = design
+                .cells
+                .iter()
+                .find(|c| c.cell == cell_id)
+                .expect("cell id belongs to design");
+            run_cell(data, cell, rep, n_partitions, false, base_seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epiflow_surveillance::{RegionRegistry, Scale};
+    use epiflow_synthpop::{build_region, BuildConfig};
+
+    fn small_region() -> RegionData {
+        let reg = RegionRegistry::new();
+        let id = reg.by_abbrev("DE").unwrap().id;
+        build_region(
+            &reg,
+            id,
+            &BuildConfig { scale: Scale::one_per(4000.0), seed: 3, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn configure_model_rebalances_symptomatic_fraction() {
+        let cell = CellConfig { symptomatic_fraction: 0.8, ..Default::default() };
+        let m = configure_model(&cell);
+        m.validate().unwrap();
+        let asym = m
+            .progressions_from(states::EXPOSED)
+            .find(|p| p.to == states::ASYMPTOMATIC)
+            .unwrap();
+        assert!((asym.prob[0] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configure_interventions_base_plus_extras() {
+        let mut cell = CellConfig::default();
+        cell.extras.push(ExtraIntervention::Ro { day: 100, level: 0.5 });
+        cell.extras.push(ExtraIntervention::D2ct { detection: 0.5, compliance: 0.5 });
+        let set = configure_interventions(&cell);
+        assert_eq!(set.names(), vec!["VHI", "SC", "SH", "RO", "D2CT"]);
+    }
+
+    #[test]
+    fn run_cell_produces_epidemic_and_observables() {
+        let data = small_region();
+        let cell = CellConfig {
+            days: 80,
+            transmissibility: 0.35,
+            sh_start: 200, // no SH within horizon
+            sc_start: 200,
+            initial_infections: 8,
+            ..Default::default()
+        };
+        let s = run_cell(&data, &cell, 0, 2, true, 7);
+        assert_eq!(s.log_cum_symptomatic.len(), 80);
+        // Monotone log-cumulative.
+        assert!(s.log_cum_symptomatic.windows(2).all(|w| w[1] >= w[0]));
+        assert!(
+            *s.log_cum_symptomatic.last().unwrap() > (5.0f64).ln(),
+            "epidemic too small: {:?}",
+            s.log_cum_symptomatic.last()
+        );
+        assert!(s.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn replicates_differ_cells_reproducible() {
+        let data = small_region();
+        let cell = CellConfig { days: 60, ..Default::default() };
+        let a = run_cell(&data, &cell, 0, 2, false, 11);
+        let a2 = run_cell(&data, &cell, 0, 2, false, 11);
+        let b = run_cell(&data, &cell, 1, 2, false, 11);
+        assert_eq!(a.log_cum_symptomatic, a2.log_cum_symptomatic);
+        assert_ne!(a.log_cum_symptomatic, b.log_cum_symptomatic);
+    }
+
+    #[test]
+    fn higher_transmissibility_more_cases() {
+        let data = small_region();
+        let lo = CellConfig {
+            days: 90,
+            transmissibility: 0.08,
+            sh_start: 300,
+            sc_start: 300,
+            ..Default::default()
+        };
+        let hi = CellConfig { transmissibility: 0.4, ..lo.clone() };
+        let a = run_cell(&data, &lo, 0, 2, false, 5);
+        let b = run_cell(&data, &hi, 0, 2, false, 5);
+        assert!(
+            b.log_cum_symptomatic.last().unwrap() > a.log_cum_symptomatic.last().unwrap(),
+            "hi tau {:?} vs lo tau {:?}",
+            b.log_cum_symptomatic.last(),
+            a.log_cum_symptomatic.last()
+        );
+    }
+
+    #[test]
+    fn run_design_full_grid() {
+        let data = small_region();
+        let design = StudyDesign {
+            cells: vec![
+                CellConfig { cell: 0, days: 40, ..Default::default() },
+                CellConfig { cell: 1, days: 40, transmissibility: 0.3, ..Default::default() },
+            ],
+            replicates: 3,
+        };
+        let runs = run_design(&data, &design, 2, 1);
+        assert_eq!(runs.len(), 6);
+        // Every (cell, replicate) pair present.
+        for c in 0..2u32 {
+            for r in 0..3u32 {
+                assert!(runs.iter().any(|s| s.cell == c && s.replicate == r));
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Mutable system state (paper Appendix D, Table V).
+//!
+//! The system state at any time comprises the attributes of nodes and
+//! edges plus user-defined variables. Interventions read and write this
+//! state; the transmission/progression engine reads it every tick.
+//!
+//! Node restriction semantics: interventions do not enumerate and flip
+//! millions of edges; they set node-level flags (isolated-until,
+//! stay-home compliance) and context closures, and edge activity is
+//! *evaluated* from those plus an explicit per-edge enable bit. This is
+//! how a contact can be "turned on and off dynamically as required"
+//! without O(E) writes per intervention.
+
+use crate::disease::StateId;
+use epiflow_synthpop::ActivityType;
+use std::collections::HashMap;
+
+/// Node flag bits.
+pub mod flags {
+    /// Complies with stay-at-home orders.
+    pub const SH_COMPLIANT: u8 = 1 << 0;
+    /// Complies with voluntary home isolation when symptomatic.
+    pub const VHI_COMPLIANT: u8 = 1 << 1;
+    /// Complies with contact-tracing isolation requests.
+    pub const CT_COMPLIANT: u8 = 1 << 2;
+    /// Permanently restricted (e.g. not released by partial reopening).
+    pub const HOLDOUT: u8 = 1 << 3;
+}
+
+/// Tick value meaning "never".
+pub const NEVER: u32 = u32::MAX;
+
+/// The full mutable simulation state.
+#[derive(Clone, Debug)]
+pub struct SimState {
+    /// Current health state per node.
+    pub health: Vec<StateId>,
+    /// Tick at which the node's scheduled progression fires ([`NEVER`]
+    /// if none).
+    pub exit_tick: Vec<u32>,
+    /// The state the node moves to when `exit_tick` fires.
+    pub next_state: Vec<StateId>,
+    /// Per-node infectivity scaling (ι multiplier, Table V `rw`).
+    pub infectivity_scale: Vec<f32>,
+    /// Per-node susceptibility scaling (σ multiplier, Table V `rw`).
+    pub susceptibility_scale: Vec<f32>,
+    /// Node flag bits (see [`flags`]).
+    pub node_flags: Vec<u8>,
+    /// Node is home-isolated until this tick (exclusive).
+    pub isolated_until: Vec<u32>,
+    /// Global stay-home order active (applies to SH-compliant nodes).
+    pub stay_home_active: bool,
+    /// Bitmask of closed activity contexts (bit = `ActivityType::code`).
+    pub closed_contexts: u8,
+    /// Explicit per-undirected-edge enable bit (bit-packed).
+    edge_enabled: Vec<u64>,
+    n_edges: usize,
+    /// User-defined named variables (Table V `variable` rows).
+    pub variables: HashMap<String, f64>,
+    /// Cumulative count of scheduled system-state changes — the driver
+    /// of the Fig.-10 memory growth model.
+    pub scheduled_changes: u64,
+}
+
+impl SimState {
+    /// Fresh state: everyone in `initial_state`, all edges enabled.
+    pub fn new(n_nodes: usize, n_edges: usize, initial_state: StateId) -> Self {
+        SimState {
+            health: vec![initial_state; n_nodes],
+            exit_tick: vec![NEVER; n_nodes],
+            next_state: vec![initial_state; n_nodes],
+            infectivity_scale: vec![1.0; n_nodes],
+            susceptibility_scale: vec![1.0; n_nodes],
+            node_flags: vec![0; n_nodes],
+            isolated_until: vec![0; n_nodes],
+            stay_home_active: false,
+            closed_contexts: 0,
+            edge_enabled: vec![u64::MAX; n_edges.div_ceil(64)],
+            n_edges,
+            variables: HashMap::new(),
+            scheduled_changes: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.health.len()
+    }
+
+    /// Is the per-edge enable bit set?
+    #[inline]
+    pub fn edge_enabled(&self, edge: u32) -> bool {
+        debug_assert!((edge as usize) < self.n_edges);
+        self.edge_enabled[(edge / 64) as usize] >> (edge % 64) & 1 == 1
+    }
+
+    /// Set the per-edge enable bit.
+    #[inline]
+    pub fn set_edge_enabled(&mut self, edge: u32, enabled: bool) {
+        debug_assert!((edge as usize) < self.n_edges);
+        let (w, b) = ((edge / 64) as usize, edge % 64);
+        if enabled {
+            self.edge_enabled[w] |= 1 << b;
+        } else {
+            self.edge_enabled[w] &= !(1 << b);
+        }
+        self.scheduled_changes += 1;
+    }
+
+    /// Close an activity context (e.g. School under SC).
+    pub fn close_context(&mut self, ctx: ActivityType) {
+        self.closed_contexts |= 1 << ctx.code();
+        self.scheduled_changes += 1;
+    }
+
+    /// Reopen an activity context.
+    pub fn open_context(&mut self, ctx: ActivityType) {
+        self.closed_contexts &= !(1 << ctx.code());
+        self.scheduled_changes += 1;
+    }
+
+    /// Is a context closed?
+    #[inline]
+    pub fn context_closed(&self, ctx_code: u8) -> bool {
+        self.closed_contexts >> ctx_code & 1 == 1
+    }
+
+    /// Whether a node is currently movement-restricted at tick `t`:
+    /// home-isolated, permanently held out, or complying with an active
+    /// stay-home order.
+    #[inline]
+    pub fn restricted(&self, node: u32, t: u32) -> bool {
+        let n = node as usize;
+        let f = self.node_flags[n];
+        self.isolated_until[n] > t
+            || f & flags::HOLDOUT != 0
+            || (self.stay_home_active && f & flags::SH_COMPLIANT != 0)
+    }
+
+    /// Evaluate whether a directed contact is active at tick `t`.
+    ///
+    /// `ctx_self`/`ctx_nbr` are the activity-context codes of the two
+    /// endpoints. Home contacts survive every restriction (household
+    /// members keep interacting under isolation).
+    #[inline]
+    pub fn edge_active(
+        &self,
+        edge: u32,
+        node: u32,
+        neighbor: u32,
+        ctx_self: u8,
+        ctx_nbr: u8,
+        t: u32,
+    ) -> bool {
+        const HOME: u8 = 0; // ActivityType::Home.code()
+        if !self.edge_enabled(edge) {
+            return false;
+        }
+        if self.context_closed(ctx_self) || self.context_closed(ctx_nbr) {
+            return false;
+        }
+        let is_home = ctx_self == HOME && ctx_nbr == HOME;
+        if is_home {
+            return true;
+        }
+        !self.restricted(node, t) && !self.restricted(neighbor, t)
+    }
+
+    /// Isolate a node at home until tick `until` (exclusive).
+    pub fn isolate(&mut self, node: u32, until: u32) {
+        let slot = &mut self.isolated_until[node as usize];
+        if *slot < until {
+            *slot = until;
+            self.scheduled_changes += 1;
+        }
+    }
+
+    /// Set a node flag.
+    pub fn set_flag(&mut self, node: u32, flag: u8) {
+        self.node_flags[node as usize] |= flag;
+        self.scheduled_changes += 1;
+    }
+
+    /// Clear a node flag.
+    pub fn clear_flag(&mut self, node: u32, flag: u8) {
+        self.node_flags[node as usize] &= !flag;
+        self.scheduled_changes += 1;
+    }
+
+    /// Test a node flag.
+    #[inline]
+    pub fn has_flag(&self, node: u32, flag: u8) -> bool {
+        self.node_flags[node as usize] & flag != 0
+    }
+
+    /// Read a user variable (0.0 when unset, matching EpiHiper's
+    /// default-initialized variables).
+    pub fn variable(&self, name: &str) -> f64 {
+        self.variables.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Write a user variable.
+    pub fn set_variable(&mut self, name: &str, value: f64) {
+        self.variables.insert(name.to_string(), value);
+        self.scheduled_changes += 1;
+    }
+
+    /// Count of nodes currently in `state`.
+    pub fn count_in(&self, state: StateId) -> usize {
+        self.health.iter().filter(|&&h| h == state).count()
+    }
+
+    /// Estimated resident memory in bytes: the static network share is
+    /// supplied by the engine; this adds the per-node state and the
+    /// intervention bookkeeping that grows as changes are scheduled —
+    /// the mechanism behind the Fig.-10 in-simulation memory growth.
+    pub fn dynamic_memory_bytes(&self) -> u64 {
+        let per_node = (2 + 4 + 2 + 4 + 4 + 1 + 4) as u64; // the seven node arrays
+        let nodes = self.health.len() as u64 * per_node;
+        let edges = (self.edge_enabled.len() * 8) as u64;
+        // Each scheduled change costs bookkeeping in EpiHiper's action
+        // queues; 48 bytes approximates a queued action record.
+        nodes + edges + self.scheduled_changes * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_all_enabled() {
+        let s = SimState::new(10, 100, 0);
+        assert_eq!(s.n_nodes(), 10);
+        for e in 0..100 {
+            assert!(s.edge_enabled(e));
+        }
+        assert!(!s.restricted(3, 0));
+    }
+
+    #[test]
+    fn edge_bit_set_clear() {
+        let mut s = SimState::new(2, 130, 0);
+        s.set_edge_enabled(64, false);
+        assert!(!s.edge_enabled(64));
+        assert!(s.edge_enabled(63));
+        assert!(s.edge_enabled(65));
+        s.set_edge_enabled(64, true);
+        assert!(s.edge_enabled(64));
+    }
+
+    #[test]
+    fn context_closure() {
+        let mut s = SimState::new(2, 1, 0);
+        let school = ActivityType::School;
+        assert!(!s.context_closed(school.code()));
+        s.close_context(school);
+        assert!(s.context_closed(school.code()));
+        assert!(!s.context_closed(ActivityType::Work.code()));
+        s.open_context(school);
+        assert!(!s.context_closed(school.code()));
+    }
+
+    #[test]
+    fn isolation_expires() {
+        let mut s = SimState::new(3, 1, 0);
+        s.isolate(1, 10);
+        assert!(s.restricted(1, 5));
+        assert!(s.restricted(1, 9));
+        assert!(!s.restricted(1, 10));
+        assert!(!s.restricted(0, 5));
+    }
+
+    #[test]
+    fn isolation_never_shortens() {
+        let mut s = SimState::new(1, 1, 0);
+        s.isolate(0, 20);
+        s.isolate(0, 10);
+        assert!(s.restricted(0, 15));
+    }
+
+    #[test]
+    fn stay_home_only_hits_compliant() {
+        let mut s = SimState::new(2, 1, 0);
+        s.set_flag(0, flags::SH_COMPLIANT);
+        s.stay_home_active = true;
+        assert!(s.restricted(0, 0));
+        assert!(!s.restricted(1, 0));
+        s.stay_home_active = false;
+        assert!(!s.restricted(0, 0));
+    }
+
+    #[test]
+    fn home_edges_survive_restriction() {
+        let mut s = SimState::new(2, 4, 0);
+        s.isolate(0, 100);
+        let home = ActivityType::Home.code();
+        let work = ActivityType::Work.code();
+        assert!(s.edge_active(0, 0, 1, home, home, 5));
+        assert!(!s.edge_active(1, 0, 1, work, work, 5));
+        // Asymmetric contexts: one side home is not enough.
+        assert!(!s.edge_active(2, 0, 1, home, work, 5));
+    }
+
+    #[test]
+    fn closed_context_blocks_edge() {
+        let mut s = SimState::new(2, 1, 0);
+        s.close_context(ActivityType::School);
+        let school = ActivityType::School.code();
+        let work = ActivityType::Work.code();
+        assert!(!s.edge_active(0, 0, 1, school, school, 0));
+        assert!(!s.edge_active(0, 0, 1, work, school, 0));
+        assert!(s.edge_active(0, 0, 1, work, work, 0));
+    }
+
+    #[test]
+    fn disabled_edge_blocks_everything() {
+        let mut s = SimState::new(2, 1, 0);
+        s.set_edge_enabled(0, false);
+        let home = ActivityType::Home.code();
+        assert!(!s.edge_active(0, 0, 1, home, home, 0));
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let mut s = SimState::new(1, 1, 0);
+        assert!(!s.has_flag(0, flags::VHI_COMPLIANT));
+        s.set_flag(0, flags::VHI_COMPLIANT);
+        assert!(s.has_flag(0, flags::VHI_COMPLIANT));
+        s.clear_flag(0, flags::VHI_COMPLIANT);
+        assert!(!s.has_flag(0, flags::VHI_COMPLIANT));
+    }
+
+    #[test]
+    fn variables_default_zero() {
+        let mut s = SimState::new(1, 1, 0);
+        assert_eq!(s.variable("x"), 0.0);
+        s.set_variable("x", 2.5);
+        assert_eq!(s.variable("x"), 2.5);
+    }
+
+    #[test]
+    fn memory_grows_with_scheduled_changes() {
+        let mut s = SimState::new(100, 100, 0);
+        let before = s.dynamic_memory_bytes();
+        for i in 0..50 {
+            s.isolate(i % 100, 10 + i);
+        }
+        assert!(s.dynamic_memory_bytes() > before);
+    }
+
+    #[test]
+    fn count_in_states() {
+        let mut s = SimState::new(5, 1, 0);
+        s.health[2] = 3;
+        s.health[4] = 3;
+        assert_eq!(s.count_in(0), 3);
+        assert_eq!(s.count_in(3), 2);
+        assert_eq!(s.count_in(7), 0);
+    }
+}

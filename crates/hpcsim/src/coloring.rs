@@ -1,0 +1,216 @@
+//! The r-relaxed coloring problem (§V).
+//!
+//! The DB-access constraint is formalized as a new vertex coloring
+//! variant: assign each task (vertex) a color (time slot) such that no
+//! vertex shares its color with more than `r` of its conflict-graph
+//! neighbors. With `r = 1` this is classical proper coloring, so all
+//! hardness results carry over; the paper's Step-1 decomposition (one
+//! database per region) turns the graph into a disjoint union of
+//! cliques, for which the greedy algorithm is exact.
+
+/// An undirected conflict graph over tasks.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictGraph {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl ConflictGraph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ConflictGraph { n, adj: vec![Vec::new(); n] }
+    }
+
+    /// Add a conflict edge (idempotent input not checked; duplicate
+    /// edges would double-count in the relaxation, so callers must not
+    /// add them twice).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(u != v, "no self conflicts");
+        assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+    }
+
+    /// Build the per-region clique union of the paper's Step 1: tasks
+    /// of the same region all conflict pairwise.
+    pub fn region_cliques(task_regions: &[usize]) -> Self {
+        let n = task_regions.len();
+        let mut g = ConflictGraph::new(n);
+        let max_region = task_regions.iter().copied().max().unwrap_or(0);
+        let mut by_region: Vec<Vec<u32>> = vec![Vec::new(); max_region + 1];
+        for (i, &r) in task_regions.iter().enumerate() {
+            by_region[r].push(i as u32);
+        }
+        for members in &by_region {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+}
+
+/// Greedy r-relaxed coloring: vertices in the given order take the
+/// smallest color used by at most `r` of their already-colored
+/// neighbors. Returns one color per vertex.
+///
+/// For a disjoint union of cliques of sizes `s_i`, greedy uses exactly
+/// `max_i ceil(s_i / (r + 1))` colors — optimal.
+pub fn greedy_relaxed_coloring(graph: &ConflictGraph, order: &[u32], r: usize) -> Vec<u32> {
+    assert_eq!(order.len(), graph.len(), "order must be a permutation");
+    let mut color = vec![u32::MAX; graph.len()];
+    let mut neighbor_color_count: Vec<std::collections::HashMap<u32, usize>> =
+        vec![std::collections::HashMap::new(); graph.len()];
+
+    for &v in order {
+        // Count colors among already-colored neighbors of v.
+        let counts = &neighbor_color_count[v as usize];
+        let mut c = 0u32;
+        loop {
+            if counts.get(&c).copied().unwrap_or(0) <= r {
+                break;
+            }
+            c += 1;
+        }
+        color[v as usize] = c;
+        for &u in graph.neighbors(v) {
+            *neighbor_color_count[u as usize].entry(c).or_insert(0) += 1;
+        }
+    }
+    color
+}
+
+/// Check that `color` is a valid r-relaxed coloring: every vertex has at
+/// most `r` same-colored neighbors.
+pub fn validate_relaxed_coloring(graph: &ConflictGraph, color: &[u32], r: usize) -> bool {
+    if color.len() != graph.len() {
+        return false;
+    }
+    (0..graph.len() as u32).all(|v| {
+        let same = graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| color[u as usize] == color[v as usize])
+            .count();
+        same <= r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_order(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn r1_on_triangle_is_proper_ish() {
+        // r = 1 allows one same-color neighbor: a triangle needs 2
+        // colors (pair + single), not 3.
+        let mut g = ConflictGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let c = greedy_relaxed_coloring(&g, &identity_order(3), 1);
+        assert!(validate_relaxed_coloring(&g, &c, 1));
+        let distinct: std::collections::HashSet<u32> = c.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn r0_is_classical_coloring() {
+        let mut g = ConflictGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let c = greedy_relaxed_coloring(&g, &identity_order(3), 0);
+        assert!(validate_relaxed_coloring(&g, &c, 0));
+        let distinct: std::collections::HashSet<u32> = c.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "triangle needs 3 proper colors");
+    }
+
+    #[test]
+    fn clique_color_count_is_ceil_s_over_r_plus_1() {
+        // Clique of 10 with r = 2 → ceil(10/3) = 4 colors.
+        let regions = vec![0usize; 10];
+        let g = ConflictGraph::region_cliques(&regions);
+        let c = greedy_relaxed_coloring(&g, &identity_order(10), 2);
+        assert!(validate_relaxed_coloring(&g, &c, 2));
+        let max = *c.iter().max().unwrap();
+        assert_eq!(max + 1, 4);
+    }
+
+    #[test]
+    fn region_cliques_are_independent() {
+        // Two regions: their colorings don't interact.
+        let regions = vec![0, 0, 0, 1, 1, 1];
+        let g = ConflictGraph::region_cliques(&regions);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 2);
+        let c = greedy_relaxed_coloring(&g, &identity_order(6), 1);
+        assert!(validate_relaxed_coloring(&g, &c, 1));
+        // Each clique of 3 with r=1 needs 2 colors; the union still 2.
+        assert_eq!(*c.iter().max().unwrap() + 1, 2);
+    }
+
+    #[test]
+    fn validator_catches_violations() {
+        let mut g = ConflictGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        // Vertex 1 has two same-colored neighbors: invalid for r = 1.
+        assert!(!validate_relaxed_coloring(&g, &[0, 0, 0], 1));
+        assert!(validate_relaxed_coloring(&g, &[0, 0, 0], 2));
+        assert!(!validate_relaxed_coloring(&g, &[0, 0], 1), "wrong length");
+    }
+
+    #[test]
+    fn order_affects_greedy_but_not_validity() {
+        let regions = vec![0usize; 7];
+        let g = ConflictGraph::region_cliques(&regions);
+        let fwd = greedy_relaxed_coloring(&g, &identity_order(7), 1);
+        let rev: Vec<u32> = (0..7u32).rev().collect();
+        let bwd = greedy_relaxed_coloring(&g, &rev, 1);
+        assert!(validate_relaxed_coloring(&g, &fwd, 1));
+        assert!(validate_relaxed_coloring(&g, &bwd, 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ConflictGraph::new(0);
+        let c = greedy_relaxed_coloring(&g, &[], 1);
+        assert!(c.is_empty());
+        assert!(validate_relaxed_coloring(&g, &c, 1));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self conflicts")]
+    fn rejects_self_loop() {
+        let mut g = ConflictGraph::new(2);
+        g.add_edge(1, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Cholesky factorization and triangular solves.
+//!
+//! The GP emulator forms covariance matrices `K = R + nugget·I` that are
+//! symmetric positive definite in exact arithmetic but can be numerically
+//! borderline when design points nearly coincide; [`cholesky_jitter`]
+//! retries with growing diagonal jitter, which is the standard GP-library
+//! treatment (GPML, GPy, and GPMSA all do this).
+
+use crate::mat::Mat;
+
+/// A lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+/// Errors from the factorization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A non-positive pivot was encountered (matrix not positive definite).
+    NotPositiveDefinite { pivot: usize },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "cholesky: matrix not square"),
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "cholesky: non-positive pivot at index {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Factor a symmetric positive-definite matrix `A = L·Lᵀ`.
+///
+/// Only the lower triangle of `a` is read, so callers may pass matrices
+/// whose upper triangle is stale.
+pub fn cholesky(a: &Mat) -> Result<Cholesky, CholeskyError> {
+    if a.nrows() != a.ncols() {
+        return Err(CholeskyError::NotSquare);
+    }
+    let n = a.nrows();
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            // sum = A[i][j] - Σ_{k<j} L[i][k] L[j][k]
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(CholeskyError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(Cholesky { l })
+}
+
+/// Factor with escalating diagonal jitter: tries `A`, then
+/// `A + jitter·I` with `jitter = j0, 10·j0, …` up to `max_tries` times.
+///
+/// Returns the factor and the jitter actually used (0.0 if none needed).
+pub fn cholesky_jitter(a: &Mat, j0: f64, max_tries: usize) -> Result<(Cholesky, f64), CholeskyError> {
+    match cholesky(a) {
+        Ok(c) => return Ok((c, 0.0)),
+        Err(CholeskyError::NotSquare) => return Err(CholeskyError::NotSquare),
+        Err(_) => {}
+    }
+    let n = a.nrows();
+    let mut jitter = j0;
+    let mut last = CholeskyError::NotPositiveDefinite { pivot: 0 };
+    for _ in 0..max_tries {
+        let mut aj = a.clone();
+        for i in 0..n {
+            aj[(i, i)] += jitter;
+        }
+        match cholesky(&aj) {
+            Ok(c) => return Ok((c, jitter)),
+            Err(e) => last = e,
+        }
+        jitter *= 10.0;
+    }
+    Err(last)
+}
+
+impl Cholesky {
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solve `L·y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "solve_lower: length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                s -= row[k] * y[k];
+            }
+            y[i] = s / row[i];
+        }
+        y
+    }
+
+    /// Solve `Lᵀ·x = y` (back substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(y.len(), n, "solve_upper: length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `A·x = b` where `A = L·Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Solve `A·X = B` column-by-column.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        let n = self.l.nrows();
+        assert_eq!(b.nrows(), n, "solve_mat: row mismatch");
+        let mut x = Mat::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = self.solve(&b.col(j));
+            for i in 0..n {
+                x[(i, j)] = col[i];
+            }
+        }
+        x
+    }
+
+    /// `log det A = 2 Σ log L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.nrows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b`, computed stably as `‖L⁻¹b‖²`.
+    pub fn quad_form(&self, b: &[f64]) -> f64 {
+        let y = self.solve_lower(b);
+        crate::dot(&y, &y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat {
+        // A = Bᵀ·B + I for a fixed B, guaranteed SPD.
+        Mat::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let a = spd3();
+        let c = cholesky(&a).unwrap();
+        let rec = c.l().matmul(&c.l().transpose());
+        assert!((&rec - &a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let c = cholesky(&spd3()).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(c.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let c = cholesky(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = c.solve(&b);
+        let back = a.matvec(&x);
+        for (bi, backi) in b.iter().zip(&back) {
+            assert!((bi - backi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_known() {
+        // det(diag(2,3,4)) = 24.
+        let a = Mat::diag(&[2.0, 3.0, 4.0]);
+        let c = cholesky(&a).unwrap();
+        assert!((c.log_det() - 24.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_form_identity() {
+        let a = Mat::identity(3);
+        let c = cholesky(&a).unwrap();
+        assert!((c.quad_form(&[1.0, 2.0, 2.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(cholesky(&a), Err(CholeskyError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert_eq!(cholesky(&Mat::zeros(2, 3)).unwrap_err(), CholeskyError::NotSquare);
+    }
+
+    #[test]
+    fn jitter_rescues_singular() {
+        // Rank-1 matrix: vvᵀ with v = (1,1); singular, needs jitter.
+        let a = Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let (c, jitter) = cholesky_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        let rec = c.l().matmul(&c.l().transpose());
+        // Reconstruction matches A up to the jitter on the diagonal.
+        assert!((rec[(0, 1)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jitter_zero_when_unneeded() {
+        let (_, jitter) = cholesky_jitter(&spd3(), 1e-10, 5).unwrap();
+        assert_eq!(jitter, 0.0);
+    }
+}

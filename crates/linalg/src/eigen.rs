@@ -1,0 +1,185 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi rotation is slower asymptotically than tridiagonal QR but it is
+//! short, numerically robust, and produces highly orthogonal eigenvectors —
+//! a good fit for the ≤ few-hundred-dimensional covariance matrices the
+//! calibration stack diagonalizes.
+
+use crate::mat::Mat;
+
+/// Result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`,
+/// with eigenvalues sorted in descending order and eigenvectors stored
+/// as the columns of `vectors`.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Column `k` is the eigenvector for `values[k]`.
+    pub vectors: Mat,
+}
+
+/// Decompose a symmetric matrix.
+///
+/// # Panics
+/// Panics if the matrix is not square or not symmetric (to 1e-8 relative
+/// to its largest entry).
+pub fn symmetric_eigen(a: &Mat) -> SymmetricEigen {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "symmetric_eigen: matrix not square");
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.is_symmetric(1e-8 * scale),
+        "symmetric_eigen: matrix not symmetric"
+    );
+
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+
+    // Cyclic sweeps over the strict upper triangle until off-diagonal mass
+    // is negligible. 30 sweeps is far beyond what Jacobi needs (typically
+    // < 10 even for n = 500); treat exhaustion as convergence-at-tolerance.
+    for _sweep in 0..30 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("NaN eigenvalue"));
+
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Mat::zeros(n, n);
+    for (newcol, &oldcol) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, newcol)] = v[(r, oldcol)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let e = symmetric_eigen(&Mat::diag(&[3.0, 1.0, 2.0]));
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let e = symmetric_eigen(&Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]));
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Mat::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 5.0],
+        ]);
+        let e = symmetric_eigen(&a);
+        let lam = Mat::diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!((&rec - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Mat::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let e = symmetric_eigen(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!((&vtv - &Mat::identity(3)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn tridiagonal_known_spectrum() {
+        // The 1D Laplacian tridiag(-1, 2, -1) of size n has eigenvalues
+        // 2 - 2cos(kπ/(n+1)).
+        let n = 6;
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let e = symmetric_eigen(&a);
+        let mut expect: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        expect.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (got, want) in e.values.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn rejects_asymmetric() {
+        symmetric_eigen(&Mat::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]));
+    }
+}

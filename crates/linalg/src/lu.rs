@@ -1,0 +1,181 @@
+//! LU decomposition with partial pivoting.
+
+use crate::mat::Mat;
+
+/// Packed LU factorization `P·A = L·U` with partial pivoting.
+///
+/// `L` (unit lower) and `U` (upper) are stored in one matrix; `perm`
+/// records the row permutation and `sign` its parity (for determinants).
+#[derive(Clone, Debug)]
+pub struct Lu {
+    lu: Mat,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+/// Error: the matrix is singular to working precision (or not square).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LuError {
+    NotSquare,
+    Singular { col: usize },
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::NotSquare => write!(f, "lu: matrix not square"),
+            LuError::Singular { col } => write!(f, "lu: singular at column {col}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// Factor `a` as `P·A = L·U`.
+pub fn lu(a: &Mat) -> Result<Lu, LuError> {
+    if a.nrows() != a.ncols() {
+        return Err(LuError::NotSquare);
+    }
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivot: largest |entry| in column k at/below the diagonal.
+        let mut p = k;
+        let mut best = m[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = m[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best < 1e-300 {
+            return Err(LuError::Singular { col: k });
+        }
+        if p != k {
+            perm.swap(p, k);
+            sign = -sign;
+            for j in 0..n {
+                let tmp = m[(k, j)];
+                m[(k, j)] = m[(p, j)];
+                m[(p, j)] = tmp;
+            }
+        }
+        let pivot = m[(k, k)];
+        for i in (k + 1)..n {
+            let f = m[(i, k)] / pivot;
+            m[(i, k)] = f;
+            for j in (k + 1)..n {
+                let mkj = m[(k, j)];
+                m[(i, j)] -= f * mkj;
+            }
+        }
+    }
+    Ok(Lu { lu: m, perm, sign })
+}
+
+impl Lu {
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.nrows();
+        self.sign * (0..n).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+
+    /// Solve `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.nrows();
+        assert_eq!(b.len(), n, "lu solve: length mismatch");
+        // Apply permutation, then forward/back substitution.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.lu[(i, k)];
+                y[i] -= lik * y[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let uik = self.lu[(i, k)];
+                y[i] -= uik * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Inverse of the original matrix (column-by-column solve).
+    pub fn inverse(&self) -> Mat {
+        let n = self.lu.nrows();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_known() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!((lu(&a).unwrap().det() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_identity() {
+        assert!((lu(&Mat::identity(4)).unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_known() {
+        // x + y = 3, 2x - y = 0  =>  x = 1, y = 2.
+        let a = Mat::from_rows(&[vec![1.0, 1.0], vec![2.0, -1.0]]);
+        let x = lu(&a).unwrap().solve(&[3.0, 0.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = lu(&a).unwrap().solve(&[5.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Mat::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let inv = lu(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Mat::identity(3)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(lu(&a), Err(LuError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_detected() {
+        assert_eq!(lu(&Mat::zeros(2, 3)).unwrap_err(), LuError::NotSquare);
+    }
+}

@@ -1,0 +1,122 @@
+//! County-to-county mixing (commuting) matrices.
+
+/// A row-stochastic mixing matrix: `m[i][j]` is the fraction of county
+/// `i` residents whose daytime contacts happen in county `j`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mixing {
+    n: usize,
+    m: Vec<f64>,
+}
+
+impl Mixing {
+    /// Identity mixing: everyone stays home (no inter-county coupling).
+    pub fn isolated(n: usize) -> Self {
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            m[i * n + i] = 1.0;
+        }
+        Mixing { n, m }
+    }
+
+    /// Gravity mixing built from county populations: residents stay in
+    /// their county with probability `stay`, and distribute the rest
+    /// over other counties ∝ population / (1 + index-distance²) — the
+    /// same kernel `synthpop` uses for commute flows, so the two model
+    /// families see consistent geographies.
+    pub fn gravity(populations: &[u64], stay: f64) -> Self {
+        let n = populations.len();
+        assert!(n > 0, "mixing needs at least one county");
+        assert!((0.0..=1.0).contains(&stay), "stay must be a probability");
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            let mut weights = vec![0.0; n];
+            let mut total = 0.0;
+            for (j, &pop) in populations.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = (i as f64 - j as f64).abs();
+                weights[j] = pop as f64 / (1.0 + d * d);
+                total += weights[j];
+            }
+            for j in 0..n {
+                m[i * n + j] = if i == j {
+                    if total > 0.0 {
+                        stay
+                    } else {
+                        1.0
+                    }
+                } else if total > 0.0 {
+                    (1.0 - stay) * weights[j] / total
+                } else {
+                    0.0
+                };
+            }
+        }
+        Mixing { n, m }
+    }
+
+    /// Number of counties.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Entry `m[i][j]`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.m[i * self.n + j]
+    }
+
+    /// Row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.m[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Verify row-stochasticity to within `tol`.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        (0..self.n).all(|i| (self.row(i).iter().sum::<f64>() - 1.0).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_is_identity() {
+        let m = Mixing::isolated(3);
+        assert!(m.is_row_stochastic(1e-12));
+        assert_eq!(m.at(0, 0), 1.0);
+        assert_eq!(m.at(0, 1), 0.0);
+    }
+
+    #[test]
+    fn gravity_rows_sum_to_one() {
+        let m = Mixing::gravity(&[100_000, 50_000, 10_000, 200_000], 0.8);
+        assert!(m.is_row_stochastic(1e-12));
+        for i in 0..4 {
+            assert!((m.at(i, i) - 0.8).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gravity_prefers_big_near_counties() {
+        // County 1 neighbors: big county 0 vs small county 2 at equal
+        // distance — more flow to 0.
+        let m = Mixing::gravity(&[500_000, 100_000, 20_000], 0.7);
+        assert!(m.at(1, 0) > m.at(1, 2));
+    }
+
+    #[test]
+    fn single_county_stays() {
+        let m = Mixing::gravity(&[1000], 0.6);
+        assert_eq!(m.at(0, 0), 1.0);
+        assert!(m.is_row_stochastic(1e-12));
+    }
+}

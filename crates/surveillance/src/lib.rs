@@ -1,0 +1,21 @@
+//! Surveillance data layer: the 51-region registry (50 US states + DC),
+//! county structure, confirmed-case time series, and a ground-truth
+//! generator standing in for the NYT / JHU / UVA dashboard feeds the
+//! paper calibrates against.
+//!
+//! The paper's workflows consume county-level daily confirmed case counts
+//! for "over 3000 counties" starting 2020-01-21. We cannot ship that
+//! proprietary-pipeline-adjacent data, so [`groundtruth`] synthesizes it:
+//! a hidden-parameter epidemic process per county plus a realistic
+//! observation model (reporting delay, under-ascertainment, weekday
+//! effects, negative-binomial noise). Because the generating parameters
+//! are known, integration tests can verify that calibration *recovers*
+//! them — a check the real system could never run.
+
+pub mod casedata;
+pub mod groundtruth;
+pub mod regions;
+
+pub use casedata::{CaseSeries, CountySeries, RegionCases};
+pub use groundtruth::{GroundTruth, GroundTruthConfig};
+pub use regions::{County, Region, RegionId, RegionRegistry, Scale, SizeCategory};

@@ -1,0 +1,280 @@
+//! Location assignment: mapping every activity of every person to a
+//! concrete location.
+//!
+//! Mirrors the paper's model: Work activities are assigned a *target
+//! county* from commute-flow data (ACS in the paper; a gravity model
+//! here), then a weighted location within it; School uses the school
+//! roster of the home county; remaining activities anchor near home.
+//! Work/School/College anchors are stable per person; errands re-sample
+//! per activity.
+
+use crate::activity::{ActivityType, WeeklyPattern};
+use crate::location::{LocationId, LocationKind, LocationModel};
+use crate::person::Population;
+use rand::Rng;
+
+/// One visit of a person to a location: the atoms of the people–location
+/// bipartite graph `G_PL`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Visit {
+    pub person: u32,
+    pub location: LocationId,
+    /// Day of week, 0 = Monday.
+    pub day: u8,
+    /// Start minute within the day.
+    pub start: u16,
+    pub duration: u16,
+    pub activity: ActivityType,
+}
+
+/// County-to-county commute flow matrix (row-stochastic).
+///
+/// A gravity model: workers stay in their home county with high
+/// probability, otherwise commute to another county with probability
+/// proportional to its size and inversely to (1 + distance), where
+/// distance is the county-index gap (counties are embedded on a line).
+#[derive(Clone, Debug)]
+pub struct CommuteFlows {
+    /// `flows[home]` → cumulative distribution over work counties.
+    cdf: Vec<Vec<f64>>,
+}
+
+impl CommuteFlows {
+    /// Build from county population sizes.
+    pub fn gravity(county_persons: &[usize], stay_prob: f64) -> Self {
+        let n = county_persons.len();
+        assert!(n > 0, "commute flows need at least one county");
+        let mut cdf = Vec::with_capacity(n);
+        for home in 0..n {
+            let mut w = vec![0.0; n];
+            let mut total = 0.0;
+            for (other, &pop) in county_persons.iter().enumerate() {
+                if other == home {
+                    continue;
+                }
+                let dist = (other as f64 - home as f64).abs();
+                w[other] = pop as f64 / (1.0 + dist * dist);
+                total += w[other];
+            }
+            // Normalize off-county mass to (1 - stay_prob).
+            let mut c = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for (other, wo) in w.iter().enumerate() {
+                let p = if other == home {
+                    stay_prob
+                } else if total > 0.0 {
+                    (1.0 - stay_prob) * wo / total
+                } else {
+                    0.0
+                };
+                acc += p;
+                c.push(acc);
+            }
+            // Guard against floating-point undershoot.
+            if let Some(last) = c.last_mut() {
+                *last = 1.0;
+            }
+            cdf.push(c);
+        }
+        CommuteFlows { cdf }
+    }
+
+    /// Sample a work county for a resident of `home`.
+    pub fn sample_work_county<R: Rng + ?Sized>(&self, home: u16, rng: &mut R) -> u16 {
+        let row = &self.cdf[home as usize];
+        let u: f64 = rng.random_range(0.0..1.0);
+        match row.binary_search_by(|p| p.partial_cmp(&u).expect("NaN in cdf")) {
+            Ok(i) | Err(i) => i.min(row.len() - 1) as u16,
+        }
+    }
+
+    /// Probability mass of staying in the home county (for tests).
+    pub fn stay_mass(&self, home: u16) -> f64 {
+        let row = &self.cdf[home as usize];
+        let h = home as usize;
+        let prev = if h == 0 { 0.0 } else { row[h - 1] };
+        row[h] - prev
+    }
+}
+
+/// Stable anchors assigned once per person.
+#[derive(Clone, Copy, Debug, Default)]
+struct Anchors {
+    work: Option<LocationId>,
+    school: Option<LocationId>,
+    college: Option<LocationId>,
+}
+
+/// Assign locations to all activities, producing the visit list.
+///
+/// `patterns[pid]` is the weekly pattern of person `pid`.
+pub fn assign_locations<R: Rng + ?Sized>(
+    population: &Population,
+    patterns: &[WeeklyPattern],
+    locations: &LocationModel,
+    flows: &CommuteFlows,
+    rng: &mut R,
+) -> Vec<Visit> {
+    assert_eq!(population.len(), patterns.len(), "pattern per person required");
+    let mut visits = Vec::with_capacity(patterns.iter().map(|p| p.activities.len()).sum());
+
+    for (pid, pattern) in patterns.iter().enumerate() {
+        let person = &population.persons[pid];
+        let mut anchors = Anchors::default();
+        for act in &pattern.activities {
+            let kind = match LocationKind::for_activity(act.kind) {
+                Some(k) => k,
+                None => continue, // Home handled by household cliques
+            };
+            let loc = match act.kind {
+                ActivityType::Work => *anchors.work.get_or_insert_with(|| {
+                    let county = flows.sample_work_county(person.county, rng);
+                    locations.sample(county, kind, rng)
+                }),
+                ActivityType::School => *anchors
+                    .school
+                    .get_or_insert_with(|| locations.sample(person.county, kind, rng)),
+                ActivityType::College => *anchors
+                    .college
+                    .get_or_insert_with(|| locations.sample(person.county, kind, rng)),
+                _ => locations.sample(person.county, kind, rng),
+            };
+            visits.push(Visit {
+                person: pid as u32,
+                location: loc,
+                day: act.day,
+                start: act.start,
+                duration: act.duration,
+                activity: act.kind,
+            });
+        }
+    }
+    visits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{assign_archetype, weekly_pattern, Activity};
+    use crate::person::{Gender, Person};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_world() -> (Population, LocationModel, CommuteFlows) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let persons: Vec<Person> = (0..200)
+            .map(|i| Person {
+                id: i,
+                household: i / 3,
+                age: (i % 80) as u8,
+                gender: if i % 2 == 0 { Gender::Female } else { Gender::Male },
+                county: (i % 2) as u16,
+                home_x: 0.0,
+                home_y: 0.0,
+            })
+            .collect();
+        let mut households = vec![Vec::new(); 67];
+        for p in &persons {
+            households[p.household as usize].push(p.id);
+        }
+        let pop = Population { region: 0, persons, households };
+        let locs = LocationModel::generate(&[100, 100], &mut rng);
+        let flows = CommuteFlows::gravity(&[100, 100], 0.8);
+        (pop, locs, flows)
+    }
+
+    #[test]
+    fn commute_stay_probability_respected() {
+        let flows = CommuteFlows::gravity(&[1000, 1000, 1000], 0.7);
+        for home in 0..3 {
+            assert!((flows.stay_mass(home) - 0.7).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn commute_sampling_distribution() {
+        let flows = CommuteFlows::gravity(&[1000, 1000], 0.8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 5000;
+        let stays = (0..n).filter(|_| flows.sample_work_county(0, &mut rng) == 0).count();
+        let frac = stays as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.03, "stay fraction {frac}");
+    }
+
+    #[test]
+    fn single_county_always_stays() {
+        let flows = CommuteFlows::gravity(&[500], 0.8);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            assert_eq!(flows.sample_work_county(0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn anchors_are_stable_within_person() {
+        let (pop, locs, flows) = tiny_world();
+        let mut rng = StdRng::seed_from_u64(13);
+        let patterns: Vec<WeeklyPattern> = pop
+            .persons
+            .iter()
+            .map(|p| weekly_pattern(assign_archetype(p, &mut rng), &mut rng))
+            .collect();
+        let visits = assign_locations(&pop, &patterns, &locs, &flows, &mut rng);
+        // Every person's Work visits land at one location.
+        for pid in 0..pop.len() as u32 {
+            let works: std::collections::HashSet<LocationId> = visits
+                .iter()
+                .filter(|v| v.person == pid && v.activity == ActivityType::Work)
+                .map(|v| v.location)
+                .collect();
+            assert!(works.len() <= 1, "person {pid} has {} workplaces", works.len());
+        }
+    }
+
+    #[test]
+    fn school_stays_in_home_county() {
+        let (pop, locs, flows) = tiny_world();
+        let mut rng = StdRng::seed_from_u64(14);
+        let patterns: Vec<WeeklyPattern> = pop
+            .persons
+            .iter()
+            .map(|p| weekly_pattern(assign_archetype(p, &mut rng), &mut rng))
+            .collect();
+        let visits = assign_locations(&pop, &patterns, &locs, &flows, &mut rng);
+        for v in visits.iter().filter(|v| v.activity == ActivityType::School) {
+            let home_county = pop.persons[v.person as usize].county;
+            assert_eq!(locs.location(v.location).county, home_county);
+        }
+    }
+
+    #[test]
+    fn visit_kind_matches_location_kind() {
+        let (pop, locs, flows) = tiny_world();
+        let mut rng = StdRng::seed_from_u64(15);
+        let patterns: Vec<WeeklyPattern> = pop
+            .persons
+            .iter()
+            .map(|p| weekly_pattern(assign_archetype(p, &mut rng), &mut rng))
+            .collect();
+        let visits = assign_locations(&pop, &patterns, &locs, &flows, &mut rng);
+        assert!(!visits.is_empty());
+        for v in &visits {
+            assert_eq!(locs.location(v.location).kind.serves(), v.activity);
+        }
+    }
+
+    #[test]
+    fn home_activities_produce_no_visits() {
+        let (pop, locs, flows) = tiny_world();
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut patterns = vec![WeeklyPattern::default(); pop.len()];
+        patterns[0].activities.push(Activity {
+            kind: ActivityType::Home,
+            day: 0,
+            start: 0,
+            duration: 600,
+        });
+        let visits = assign_locations(&pop, &patterns, &locs, &flows, &mut rng);
+        assert!(visits.is_empty());
+    }
+}

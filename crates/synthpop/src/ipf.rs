@@ -1,0 +1,213 @@
+//! Iterative proportional fitting (Deming–Stephan, 1940).
+//!
+//! The paper's base population model uses IPF to adjust a seed joint
+//! distribution (from microdata samples) so its marginals match the
+//! published census marginals for each region. We implement the 2-D
+//! algorithm on an arbitrary seed table; the builder uses it to fit
+//! age-group × household-size joints per county.
+
+/// Result of an IPF run.
+#[derive(Clone, Debug)]
+pub struct IpfResult {
+    /// Fitted joint table, row-major `rows × cols`.
+    pub table: Vec<Vec<f64>>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final maximum relative marginal error.
+    pub max_error: f64,
+    /// Whether the run converged within tolerance.
+    pub converged: bool,
+}
+
+/// Fit `seed` so its row sums match `row_targets` and column sums match
+/// `col_targets`.
+///
+/// Zero cells in the seed stay zero (structural zeros are preserved, as
+/// in the classical algorithm). Targets must be non-negative, and the
+/// two target totals must agree to within 1e-6 relative error.
+///
+/// # Panics
+/// Panics on shape mismatch or disagreeing target totals.
+pub fn ipf(
+    seed: &[Vec<f64>],
+    row_targets: &[f64],
+    col_targets: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> IpfResult {
+    let r = seed.len();
+    assert!(r > 0, "ipf: empty seed");
+    let c = seed[0].len();
+    assert!(seed.iter().all(|row| row.len() == c), "ipf: ragged seed");
+    assert_eq!(row_targets.len(), r, "ipf: row target length");
+    assert_eq!(col_targets.len(), c, "ipf: col target length");
+
+    let rt: f64 = row_targets.iter().sum();
+    let ct: f64 = col_targets.iter().sum();
+    assert!(
+        (rt - ct).abs() <= 1e-6 * rt.max(ct).max(1.0),
+        "ipf: marginal totals disagree ({rt} vs {ct})"
+    );
+
+    let mut t: Vec<Vec<f64>> = seed.to_vec();
+    let mut max_err = f64::INFINITY;
+    let mut iters = 0;
+
+    for it in 0..max_iter {
+        iters = it + 1;
+        // Row scaling.
+        for (i, row) in t.iter_mut().enumerate() {
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                let f = row_targets[i] / s;
+                for v in row.iter_mut() {
+                    *v *= f;
+                }
+            }
+        }
+        // Column scaling.
+        for j in 0..c {
+            let s: f64 = t.iter().map(|row| row[j]).sum();
+            if s > 0.0 {
+                let f = col_targets[j] / s;
+                for row in t.iter_mut() {
+                    row[j] *= f;
+                }
+            }
+        }
+        // Convergence: max relative error across both marginals.
+        max_err = 0.0;
+        for (i, row) in t.iter().enumerate() {
+            let s: f64 = row.iter().sum();
+            let denom = row_targets[i].max(1e-12);
+            max_err = max_err.max((s - row_targets[i]).abs() / denom);
+        }
+        for j in 0..c {
+            let s: f64 = t.iter().map(|row| row[j]).sum();
+            let denom = col_targets[j].max(1e-12);
+            max_err = max_err.max((s - col_targets[j]).abs() / denom);
+        }
+        if max_err < tol {
+            return IpfResult { table: t, iterations: iters, max_error: max_err, converged: true };
+        }
+    }
+    IpfResult { table: t, iterations: iters, max_error: max_err, converged: false }
+}
+
+/// Integerize a fitted real-valued table to whole counts that sum to
+/// `total`, by largest-remainder rounding. Used to turn IPF output into
+/// actual person counts.
+pub fn integerize(table: &[Vec<f64>], total: u64) -> Vec<Vec<u64>> {
+    let sum: f64 = table.iter().flat_map(|r| r.iter()).sum();
+    assert!(sum > 0.0, "integerize: zero table");
+    let scale = total as f64 / sum;
+
+    let mut floors: Vec<Vec<u64>> = Vec::with_capacity(table.len());
+    let mut remainders: Vec<(f64, usize, usize)> = Vec::new();
+    let mut allocated: u64 = 0;
+    for (i, row) in table.iter().enumerate() {
+        let mut frow = Vec::with_capacity(row.len());
+        for (j, &v) in row.iter().enumerate() {
+            let x = v * scale;
+            let f = x.floor() as u64;
+            allocated += f;
+            remainders.push((x - x.floor(), i, j));
+            frow.push(f);
+        }
+        floors.push(frow);
+    }
+    // Distribute the shortfall to the cells with the largest remainders.
+    let mut shortfall = total.saturating_sub(allocated);
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN remainder"));
+    for &(_, i, j) in &remainders {
+        if shortfall == 0 {
+            break;
+        }
+        floors[i][j] += 1;
+        shortfall -= 1;
+    }
+    floors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_simple_marginals() {
+        let seed = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let res = ipf(&seed, &[30.0, 70.0], &[40.0, 60.0], 1e-10, 100);
+        assert!(res.converged);
+        // Row sums.
+        assert!((res.table[0].iter().sum::<f64>() - 30.0).abs() < 1e-6);
+        assert!((res.table[1].iter().sum::<f64>() - 70.0).abs() < 1e-6);
+        // Column sums.
+        let c0: f64 = res.table.iter().map(|r| r[0]).sum();
+        assert!((c0 - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preserves_structural_zeros() {
+        let seed = vec![vec![0.0, 1.0], vec![1.0, 1.0]];
+        let res = ipf(&seed, &[10.0, 20.0], &[12.0, 18.0], 1e-9, 200);
+        assert_eq!(res.table[0][0], 0.0);
+    }
+
+    #[test]
+    fn preserves_seed_interaction_structure() {
+        // IPF preserves odds ratios of the seed: cross-product ratio of a
+        // 2x2 table is invariant under row/column scaling.
+        let seed = vec![vec![2.0, 1.0], vec![1.0, 4.0]];
+        let res = ipf(&seed, &[50.0, 50.0], &[50.0, 50.0], 1e-12, 500);
+        let t = &res.table;
+        let or_seed = (2.0 * 4.0) / (1.0 * 1.0);
+        let or_fit = (t[0][0] * t[1][1]) / (t[0][1] * t[1][0]);
+        assert!((or_fit - or_seed).abs() < 1e-6, "odds ratio {or_fit}");
+    }
+
+    #[test]
+    fn reports_non_convergence_without_panic() {
+        // Interacting seed (not rank-1) cannot satisfy both marginals in
+        // two sweeps at an impossible tolerance.
+        let seed = vec![vec![5.0, 1.0], vec![1.0, 5.0]];
+        let res = ipf(&seed, &[30.0, 70.0], &[60.0, 40.0], 0.0, 2);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 2);
+        assert!(res.max_error.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "totals disagree")]
+    fn rejects_inconsistent_targets() {
+        let seed = vec![vec![1.0]];
+        ipf(&seed, &[10.0], &[20.0], 1e-6, 10);
+    }
+
+    #[test]
+    fn integerize_preserves_total() {
+        let table = vec![vec![1.4, 2.3], vec![3.3, 0.5]];
+        let ints = integerize(&table, 1000);
+        let total: u64 = ints.iter().flat_map(|r| r.iter()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn integerize_proportions_roughly_preserved() {
+        let table = vec![vec![1.0, 3.0]];
+        let ints = integerize(&table, 400);
+        assert_eq!(ints[0][0] + ints[0][1], 400);
+        assert!((ints[0][0] as i64 - 100).abs() <= 1);
+        assert!((ints[0][1] as i64 - 300).abs() <= 1);
+    }
+
+    #[test]
+    fn three_by_three_converges() {
+        let seed = vec![
+            vec![5.0, 3.0, 2.0],
+            vec![2.0, 8.0, 1.0],
+            vec![1.0, 1.0, 6.0],
+        ];
+        let res = ipf(&seed, &[100.0, 150.0, 50.0], &[120.0, 110.0, 70.0], 1e-9, 500);
+        assert!(res.converged, "err {}", res.max_error);
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic populations and contact networks (paper Appendix C).
+//!
+//! A synthetic population is a "digital twin" of a region's real
+//! population. The construction follows the paper's pipeline:
+//!
+//! 1. **Base population** ([`ipf`], [`person`]) — iterative proportional
+//!    fitting calibrates a joint demographic table to marginals; persons
+//!    are synthesized from it and partitioned into households.
+//! 2. **Activity sequences** ([`activity`]) — each person receives a
+//!    week-long sequence of typed activities (Home, Work, Shopping,
+//!    Other, School, College, Religion) via a CART-like demographic rule
+//!    tree over survey-derived templates.
+//! 3. **Locations** ([`location`]) — residences and activity locations are
+//!    placed per county with heavy-tailed capacities.
+//! 4. **Location assignment** ([`assignment`]) — every activity is mapped
+//!    to a location; Work uses county-level commute flows, School uses
+//!    school rosters, the rest anchor near home.
+//! 5. **Contact network** ([`network`]) — co-occupancy at locations
+//!    induces the people–location bipartite graph `G_PL`, from which
+//!    `G_max` (simultaneous presence) is thinned by sub-location contact
+//!    modeling into the contact network `G`, projected to a "typical
+//!    Wednesday" `G_Wednesday` for simulation.
+//!
+//! [`builder::build_region`] runs the whole pipeline for one region at a
+//! chosen [`Scale`](epiflow_surveillance::Scale).
+
+pub mod activity;
+pub mod assignment;
+pub mod builder;
+pub mod ipf;
+pub mod location;
+pub mod network;
+pub mod person;
+
+pub use activity::{Activity, ActivityType, WeeklyPattern};
+pub use builder::{build_region, BuildConfig};
+pub use location::{Location, LocationId, LocationKind, LocationModel};
+pub use network::{ContactEdge, ContactNetwork, NetworkStats};
+pub use person::{AgeGroup, Gender, Person, PersonId, Population};

@@ -1,0 +1,71 @@
+//! The combined nightly workflow (Figs. 1–2): orchestrating a national
+//! calibration-then-prediction cycle across the home and remote
+//! clusters.
+//!
+//! ```bash
+//! cargo run --release --example national_nightly
+//! ```
+
+use epiflow::core::CombinedWorkflow;
+use epiflow::hpcsim::schedule::PackAlgo;
+use epiflow::hpcsim::task::WorkloadSpec;
+use epiflow::surveillance::{RegionRegistry, Scale};
+
+fn main() {
+    let registry = RegionRegistry::new();
+    let scale = Scale::default();
+
+    println!("══════ night 1: calibration (300 × 51 × 1 = 15,300 simulations) ══════\n");
+    let calibration = CombinedWorkflow {
+        workload: WorkloadSpec::calibration(),
+        ..Default::default()
+    }
+    .run(&registry, scale);
+    print!("{}", calibration.timeline_text());
+    summarize(&calibration);
+
+    println!("\n══════ night 2: prediction (12 × 51 × 15 = 9,180 simulations) ══════\n");
+    let prediction = CombinedWorkflow {
+        workload: WorkloadSpec::prediction(),
+        ..Default::default()
+    }
+    .run(&registry, scale);
+    print!("{}", prediction.timeline_text());
+    summarize(&prediction);
+
+    println!("\n══════ ablation: the scheduling heuristic matters ══════\n");
+    let nfdt = CombinedWorkflow {
+        workload: WorkloadSpec::prediction(),
+        algo: PackAlgo::NfdtDc,
+        ..Default::default()
+    }
+    .run(&registry, scale);
+    println!(
+        "FFDT-DC: {:5} completed, makespan {:5.1} h, utilization {:5.1}%",
+        prediction.slurm.completed,
+        prediction.slurm.makespan_secs / 3600.0,
+        prediction.slurm.utilization * 100.0
+    );
+    println!(
+        "NFDT-DC: {:5} completed, makespan {:5.1} h, utilization {:5.1}%",
+        nfdt.slurm.completed,
+        nfdt.slurm.makespan_secs / 3600.0,
+        nfdt.slurm.utilization * 100.0
+    );
+}
+
+fn summarize(report: &epiflow::core::CombinedReport) {
+    println!(
+        "\n  {} simulations, {} completed in the nightly window; within window: {}",
+        report.n_tasks, report.slurm.completed, report.within_window
+    );
+    println!(
+        "  remote utilization {:.1}% over {} peak nodes; raw output {:.2} TB stays remote, \
+         {:.2} GB of summaries come home",
+        report.slurm.utilization * 100.0,
+        report.slurm.peak_nodes,
+        report.raw_output_bytes as f64 / 1e12,
+        report.summary_bytes as f64 / 1e9
+    );
+    println!("  end-to-end cycle: {:.1} h", report.cycle_secs / 3600.0);
+}

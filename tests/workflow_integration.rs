@@ -1,0 +1,144 @@
+//! Integration tests for the HPC workflow layer: scheduling, the
+//! two-cluster combined workflow, and the Table-I/II arithmetic.
+
+use epiflow::core::{CombinedWorkflow, FactorialDesign, StudyDesign};
+use epiflow::core::design::CellConfig;
+use epiflow::hpcsim::schedule::{pack, pack_arrival, PackAlgo};
+use epiflow::hpcsim::slurm::SlurmSim;
+use epiflow::hpcsim::task::WorkloadSpec;
+use epiflow::hpcsim::ClusterSpec;
+use epiflow::surveillance::{RegionRegistry, Scale};
+
+/// The full nightly prediction workload (9180 sims) must fit the
+/// 10-hour Bridges window with high utilization — the paper's core
+/// operational claim.
+#[test]
+fn nightly_prediction_fits_the_window() {
+    let reg = RegionRegistry::new();
+    let report = CombinedWorkflow::default().run(&reg, Scale::default());
+    assert_eq!(report.n_tasks, 9180);
+    assert!(report.within_window, "nightly workload must fit the window");
+    assert!(
+        report.slurm.utilization > 0.85,
+        "deployed utilization {}",
+        report.slurm.utilization
+    );
+}
+
+/// The calibration workload (15,300 sims) also ran nightly.
+#[test]
+fn nightly_calibration_fits_the_window() {
+    let reg = RegionRegistry::new();
+    let wf = CombinedWorkflow { workload: WorkloadSpec::calibration(), ..Default::default() };
+    let report = wf.run(&reg, Scale::default());
+    assert_eq!(report.n_tasks, 15_300);
+    assert!(
+        report.slurm.completed as f64 > 0.95 * report.n_tasks as f64,
+        "completed {}",
+        report.slurm.completed
+    );
+}
+
+/// FFDT-DC (deployed) beats arrival-order NFDT-DC (initial config) on
+/// the real national workload — the Fig. 9 headline, at full size.
+#[test]
+fn deployed_schedule_beats_initial_on_national_workload() {
+    let reg = RegionRegistry::new();
+    let tasks = WorkloadSpec::prediction().generate(&reg, Scale::default());
+    let bound = |_r: usize| 16usize;
+    let machine = ClusterSpec::bridges().nodes;
+
+    let initial = pack_arrival(&tasks, machine, bound, PackAlgo::NfdtDc);
+    initial.validate(&tasks, bound).unwrap();
+    let initial_stats = initial.execute(&tasks);
+
+    let deployed = pack(&tasks, machine, bound, PackAlgo::FfdtDc);
+    deployed.validate(&tasks, bound).unwrap();
+    let order: Vec<usize> =
+        deployed.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+    let deployed_stats = SlurmSim::new(ClusterSpec::bridges()).run(&tasks, &order, bound);
+
+    assert!(
+        deployed_stats.utilization > 0.9,
+        "deployed {}",
+        deployed_stats.utilization
+    );
+    assert!(
+        deployed_stats.utilization - initial_stats.utilization > 0.3,
+        "gap: {} vs {}",
+        deployed_stats.utilization,
+        initial_stats.utilization
+    );
+}
+
+/// Every simulation of a packed workload is scheduled exactly once and
+/// respects whole-node allocation — for both packers, across workloads.
+#[test]
+fn packers_place_every_task_once() {
+    let reg = RegionRegistry::new();
+    for spec in [WorkloadSpec::economic(), WorkloadSpec::calibration()] {
+        let tasks = spec.generate(&reg, Scale::default());
+        for algo in [PackAlgo::NfdtDc, PackAlgo::FfdtDc] {
+            let plan = pack(&tasks, 720, |_| 8, algo);
+            plan.validate(&tasks, |_| 8).unwrap();
+            assert_eq!(plan.n_tasks(), tasks.len());
+        }
+    }
+}
+
+/// Table-I simulation counts from the actual design machinery.
+#[test]
+fn table_i_counts_from_designs() {
+    let econ = StudyDesign {
+        cells: FactorialDesign::paper_economic().expand(&CellConfig::default()),
+        replicates: 15,
+    };
+    assert_eq!(econ.n_simulations(51), 9180);
+    let calib = StudyDesign::lhs_prior(300, &CellConfig::default(), 0);
+    assert_eq!(calib.n_simulations(51), 15_300);
+}
+
+/// The combined workflow's data ledger matches Table II's directions:
+/// configs go out, only summaries come home, raw output stays remote.
+#[test]
+fn data_flows_match_table_ii() {
+    use epiflow::hpcsim::Site;
+    let reg = RegionRegistry::new();
+    let report = CombinedWorkflow::default().run(&reg, Scale::default());
+    let out = report.transfers.bytes_moved(Site::Home, Site::Remote);
+    let back = report.transfers.bytes_moved(Site::Remote, Site::Home);
+    assert!(out > 100_000_000, "daily configs ≥ 100 MB, got {out}");
+    assert!(out < 10_000_000_000u64, "daily configs ≤ ~9 GB, got {out}");
+    assert_eq!(back, report.summary_bytes);
+    assert!(report.raw_output_bytes > 100 * report.summary_bytes);
+}
+
+/// The remote window is respected: remote-site timeline events fit in
+/// 10 hours.
+#[test]
+fn remote_steps_fit_nightly_window() {
+    use epiflow::hpcsim::Site;
+    let reg = RegionRegistry::new();
+    let report = CombinedWorkflow::default().run(&reg, Scale::default());
+    let remote_secs: f64 = report
+        .timeline
+        .iter()
+        .filter(|e| e.site == Site::Remote)
+        .map(|e| e.duration_secs)
+        .sum();
+    assert!(
+        remote_secs <= 10.0 * 3600.0,
+        "remote work {remote_secs} s exceeds the 10 h window"
+    );
+}
+
+/// Workload runtime heterogeneity matches Fig. 8: the slowest region's
+/// tasks are an order of magnitude longer than the fastest's.
+#[test]
+fn workload_runtime_spread() {
+    let reg = RegionRegistry::new();
+    let tasks = WorkloadSpec::prediction().generate(&reg, Scale::default());
+    let max = tasks.iter().map(|t| t.est_secs).fold(f64::MIN, f64::max);
+    let min = tasks.iter().map(|t| t.est_secs).fold(f64::MAX, f64::min);
+    assert!(max / min > 10.0, "spread {max}/{min}");
+}
