@@ -66,9 +66,7 @@ impl EnsembleBand {
         if n == 0 {
             return 0.0;
         }
-        (0..n)
-            .filter(|&i| observed[i] >= self.lo[i] && observed[i] <= self.hi[i])
-            .count() as f64
+        (0..n).filter(|&i| observed[i] >= self.lo[i] && observed[i] <= self.hi[i]).count() as f64
             / n as f64
     }
 

@@ -152,10 +152,7 @@ mod tests {
         let r = v.report();
         assert_eq!(r.n_simulations, 24);
         assert_eq!(r.raw_bytes, 24_000);
-        assert_eq!(
-            r.summary_entries,
-            24 * (100 * 15 * 3 + 100 * 10 * 15) as u64
-        );
+        assert_eq!(r.summary_entries, 24 * (100 * 15 * 3 + 100 * 10 * 15) as u64);
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! home-cluster stage).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use epiflow_calibrate::{Emulator, GpModel, GpmsaCalibration, GpmsaConfig, MetropolisConfig, ParamSpace};
+use epiflow_calibrate::{
+    Emulator, GpModel, GpmsaCalibration, GpmsaConfig, MetropolisConfig, ParamSpace,
+};
 
 fn toy_sim(theta: &[f64], t_len: usize) -> Vec<f64> {
-    (0..t_len)
-        .map(|t| theta[1] / (1.0 + (-theta[0] * (t as f64 - 25.0)).exp()))
-        .collect()
+    (0..t_len).map(|t| theta[1] / (1.0 + (-theta[0] * (t as f64 - 25.0)).exp())).collect()
 }
 
 fn space() -> ParamSpace {
@@ -49,16 +49,20 @@ fn gpmsa_mcmc(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mcmc_500_iters", |b| {
         b.iter(|| {
-            let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
-                mcmc: MetropolisConfig {
-                    iterations: 500,
-                    burn_in: 100,
-                    seed: 9,
+            let cal = GpmsaCalibration::new(
+                &em,
+                &observed,
+                GpmsaConfig {
+                    mcmc: MetropolisConfig {
+                        iterations: 500,
+                        burn_in: 100,
+                        seed: 9,
+                        ..Default::default()
+                    },
+                    gibbs_sweeps: 1,
                     ..Default::default()
                 },
-                gibbs_sweeps: 1,
-                ..Default::default()
-            });
+            );
             cal.run()
         });
     });

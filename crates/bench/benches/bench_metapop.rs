@@ -17,12 +17,8 @@ fn no_distancing() -> Scenario {
 fn virginia_model(n_counties: usize) -> (MetapopModel, Vec<f64>) {
     let reg = RegionRegistry::new();
     let va = reg.by_abbrev("VA").unwrap().id;
-    let counties: Vec<f64> = reg
-        .counties(va)
-        .iter()
-        .take(n_counties)
-        .map(|c| c.population as f64)
-        .collect();
+    let counties: Vec<f64> =
+        reg.counties(va).iter().take(n_counties).map(|c| c.population as f64).collect();
     let pops: Vec<u64> = counties.iter().map(|&p| p as u64).collect();
     let seeds: Vec<f64> = counties.iter().map(|p| (p / 2e5).clamp(0.5, 20.0)).collect();
     (

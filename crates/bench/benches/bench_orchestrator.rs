@@ -1,0 +1,68 @@
+//! Engine event-loop overhead for the 9180-task nightly prediction DAG,
+//! with and without fault injection.
+//!
+//! The orchestrator is a planning-level simulator, so its own overhead
+//! must stay negligible next to the workload it models: one nightly
+//! cycle — pack, Slurm event loop over 9180 tasks, transfers, journal —
+//! should run in milliseconds. The faulty variant adds a mid-level node
+//! crash, transfer drops (retried per policy), stragglers, and DB
+//! exhaustion with deadline shedding enabled, exercising every fault
+//! path the engine has.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epiflow_core::CombinedWorkflow;
+use epiflow_hpcsim::slurm::NodeFailure;
+use epiflow_orchestrator::{DeadlinePolicy, Engine, FaultPlan, LinkFaults};
+use epiflow_surveillance::{RegionRegistry, Scale};
+use std::hint::black_box;
+
+fn quiet_engine() -> Engine {
+    let reg = RegionRegistry::new();
+    CombinedWorkflow::default().engine(&reg, Scale::default())
+}
+
+fn faulty_engine() -> Engine {
+    let reg = RegionRegistry::new();
+    let wf = CombinedWorkflow {
+        faults: FaultPlan {
+            seed: 0xC0FFEE,
+            link: LinkFaults::new(0.3, 7),
+            node_failures: vec![NodeFailure { at_secs: 4.0 * 3600.0, nodes: 120 }],
+            db_exhaust_prob: 0.1,
+            db_keep_fraction: 0.5,
+            straggler_prob: 0.02,
+            straggler_factor: 3.0,
+        },
+        deadline: DeadlinePolicy { shed_cells: true },
+        ..Default::default()
+    };
+    wf.engine(&reg, Scale::default())
+}
+
+fn bench_nightly_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator_nightly_9180");
+    group.sample_size(10);
+
+    let quiet = quiet_engine();
+    group.bench_with_input(BenchmarkId::new("run", "quiet"), &quiet, |b, engine| {
+        b.iter(|| black_box(engine.run().report.cycle_secs))
+    });
+
+    let faulty = faulty_engine();
+    group.bench_with_input(BenchmarkId::new("run", "faulty"), &faulty, |b, engine| {
+        b.iter(|| black_box(engine.run().report.cycle_secs))
+    });
+
+    // Checkpoint-resume from a mid-cycle journal: the replayed prefix
+    // must cost (almost) nothing compared to re-executing it.
+    let journal = quiet.run().journal;
+    let prefix = journal.prefix(4); // through the Slurm execute step
+    group.bench_with_input(BenchmarkId::new("resume", "after-execute"), &quiet, |b, engine| {
+        b.iter(|| black_box(engine.resume(&prefix).report.cycle_secs))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_nightly_dag);
+criterion_main!(benches);

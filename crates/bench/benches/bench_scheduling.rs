@@ -12,7 +12,10 @@ fn packers(c: &mut Criterion) {
     let reg = RegionRegistry::new();
     let mut group = c.benchmark_group("pack");
     group.sample_size(10);
-    for (name, spec) in [("prediction-9180", WorkloadSpec::prediction()), ("calibration-15300", WorkloadSpec::calibration())] {
+    for (name, spec) in [
+        ("prediction-9180", WorkloadSpec::prediction()),
+        ("calibration-15300", WorkloadSpec::calibration()),
+    ] {
         let tasks = spec.generate(&reg, Scale::default());
         group.bench_with_input(BenchmarkId::new("ffdt", name), &tasks, |b, tasks| {
             b.iter(|| pack(tasks, 720, |_| 16, PackAlgo::FfdtDc));

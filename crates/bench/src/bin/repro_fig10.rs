@@ -31,13 +31,12 @@ fn main() {
     println!("Fig. 10 (left) — VA memory by simulation step for varying compliance\n");
     let va = region(&reg, "VA", 2000.0);
     println!(
-        "{:>11} {:>12} {:>12} {:>8}  {}",
-        "compliance", "start (MB)", "end (MB)", "growth", "trajectory"
+        "{:>11} {:>12} {:>12} {:>8}  trajectory",
+        "compliance", "start (MB)", "end (MB)", "growth"
     );
     for compliance in [0.2, 0.4, 0.6, 0.8] {
         let res = run_covid(&va, stack(compliance), ticks, 4, 1);
-        let mem: Vec<f64> =
-            res.output.memory_bytes.iter().map(|&b| b as f64 / 1e6).collect();
+        let mem: Vec<f64> = res.output.memory_bytes.iter().map(|&b| b as f64 / 1e6).collect();
         println!(
             "{:>11.1} {:>12.2} {:>12.2} {:>7.1}%  {}",
             compliance,

@@ -14,7 +14,7 @@ fn main() {
     println!("Figure 13 — California county-level cumulative confirmed cases\n");
     let ca = reg.by_abbrev("CA").unwrap().id;
     let cases = gt.region(ca);
-    println!("{:>8} {:>10} {:>10}  {}", "county", "total", "first day", "cumulative curve");
+    println!("{:>8} {:>10} {:>10}  cumulative curve", "county", "total", "first day");
     for c in cases.counties.iter().take(12) {
         let cum = c.series.cumulative();
         let first = c.series.daily.iter().position(|&x| x > 0.0);
@@ -37,7 +37,7 @@ fn main() {
     );
 
     println!("\nFigure 14 — state-level cumulative confirmed cases\n");
-    println!("{:>6} {:>12}  {}", "state", "total", "cumulative curve");
+    println!("{:>6} {:>12}  cumulative curve", "state", "total");
     for abbrev in ["NY", "CA", "TX", "FL", "VA", "WY"] {
         let id = reg.by_abbrev(abbrev).unwrap().id;
         let cum = gt.region(id).state_series().cumulative();
@@ -59,14 +59,9 @@ fn main() {
     let ny = reg.by_abbrev("NY").unwrap().id;
     let daily = gt.region(ny).state_series();
     let smooth = daily.smooth7();
-    let raw_noise: f64 = daily
-        .daily
-        .iter()
-        .zip(&smooth.daily)
-        .skip(60)
-        .map(|(r, s)| (r - s).abs())
-        .sum::<f64>()
-        / smooth.daily.iter().skip(60).sum::<f64>().max(1.0);
+    let raw_noise: f64 =
+        daily.daily.iter().zip(&smooth.daily).skip(60).map(|(r, s)| (r - s).abs()).sum::<f64>()
+            / smooth.daily.iter().skip(60).sum::<f64>().max(1.0);
     println!(
         "NY daily-series relative reporting noise: {:.1}%  [paper: \"highly noisy\" feeds]",
         raw_noise * 100.0

@@ -11,8 +11,8 @@
 
 use epiflow_bench::sparkline;
 use epiflow_calibrate::{GpmsaCalibration, GpmsaConfig, MetropolisConfig};
-use epiflow_core::{CalibrationWorkflow, CellConfig, PredictionWorkflow};
 use epiflow_core::runner::run_cell;
+use epiflow_core::{CalibrationWorkflow, CellConfig, PredictionWorkflow};
 use epiflow_surveillance::{RegionRegistry, Scale};
 use epiflow_synthpop::{build_region, BuildConfig};
 
@@ -34,15 +34,15 @@ fn main() {
     // different replicate seed — the observed "reported" curve.
     let base = CellConfig {
         days: 70,
-        sc_start: 30,  // case study: SC from March 16
-        sh_start: 45,  // SH from March 31
-        sh_end: 200,   // expires June 10, beyond horizon
+        sc_start: 30, // case study: SC from March 16
+        sh_start: 45, // SH from March 31
+        sh_end: 200,  // expires June 10, beyond horizon
         initial_infections: 12,
         ..Default::default()
     };
     let truth = [0.30, 0.65, 0.55, 0.45]; // TAU, SYMP, SH, VHI
-    // The observed curve: the replicate-mean of the hidden configuration,
-    // standing in for the (smoothed) surveillance series.
+                                          // The observed curve: the replicate-mean of the hidden configuration,
+                                          // standing in for the (smoothed) surveillance series.
     let truth_cell = CellConfig::from_theta(990, &truth, &base);
     let mut observed = vec![0.0f64; base.days as usize];
     let obs_reps = 5u32;
@@ -59,7 +59,12 @@ fn main() {
         base: base.clone(),
         n_posterior: 100,
         gpmsa: GpmsaConfig {
-            mcmc: MetropolisConfig { iterations: 4000, burn_in: 1000, seed: 21, ..Default::default() },
+            mcmc: MetropolisConfig {
+                iterations: 4000,
+                burn_in: 1000,
+                seed: 21,
+                ..Default::default()
+            },
             gibbs_sweeps: 3,
             ..Default::default()
         },
@@ -116,8 +121,7 @@ fn main() {
         n_partitions: 4,
         seed: 0x9ED,
     };
-    let configs: Vec<CellConfig> =
-        result.posterior_configs.iter().take(20).cloned().collect();
+    let configs: Vec<CellConfig> = result.posterior_configs.iter().take(20).cloned().collect();
     let res = pred.run(&data, &configs);
     println!("Figure 17 — VA cumulative case prediction, 8 weeks past day {}\n", base.days);
     println!("  median: {}", sparkline(&res.cumulative_band.median));
@@ -125,7 +129,9 @@ fn main() {
     for day in [70usize, 84, 98, 112, 125] {
         println!(
             "  {day:>3}  {:>14.0} [{:.0}, {:.0}]",
-            res.cumulative_band.median[day], res.cumulative_band.lo[day], res.cumulative_band.hi[day]
+            res.cumulative_band.median[day],
+            res.cumulative_band.lo[day],
+            res.cumulative_band.hi[day]
         );
     }
     let d = (base.days + 55) as usize;
@@ -143,8 +149,7 @@ fn main() {
         false,
         0x0B5,
     );
-    let truth_fwd: Vec<f64> =
-        forward.log_cum_symptomatic.iter().map(|l| l.exp() - 1.0).collect();
+    let truth_fwd: Vec<f64> = forward.log_cum_symptomatic.iter().map(|l| l.exp() - 1.0).collect();
     println!(
         "  held-out truth at 8 weeks: {:.0} → inside band: {}",
         truth_fwd[d],

@@ -1,44 +1,66 @@
 //! Figures 1–2 — the combined workflow and its multi-day timeline.
 //!
-//! Runs one full calibration-night followed by one prediction-night,
-//! printing the Fig.-2-style schedule of automated and human steps on
-//! each cluster.
+//! Runs one full calibration-night followed by one prediction-night on
+//! the orchestrator's DAG engine, printing the Fig.-2-style schedule of
+//! automated and human steps on each cluster. The timeline is rendered
+//! directly from the engine's event stream and journal, so this
+//! reproduction and the engine cannot drift apart.
 
 use epiflow_core::CombinedWorkflow;
 use epiflow_hpcsim::task::WorkloadSpec;
+use epiflow_orchestrator::{timeline_text, EngineEvent, RunResult, TimelineEvent};
 use epiflow_surveillance::{RegionRegistry, Scale};
+
+/// Build the Fig.-2 timeline from the engine's event stream: completed
+/// steps come from the journal (which records the event the engine
+/// emitted for each completion), in `StepCompleted` order.
+fn timeline_from_events(run: &RunResult) -> Vec<TimelineEvent> {
+    let mut events: Vec<TimelineEvent> = run
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            EngineEvent::StepCompleted { step, .. } | EngineEvent::StepReplayed { step, .. } => {
+                run.journal.entries.iter().find(|j| j.step == *step).map(|j| j.event.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    events.sort_by(|a, b| a.start_secs.partial_cmp(&b.start_secs).expect("NaN start"));
+    events
+}
+
+fn show_cycle(run: &RunResult) {
+    print!("{}", timeline_text(&timeline_from_events(run)));
+    let retries: usize =
+        run.events.iter().filter(|e| matches!(e, EngineEvent::AttemptFailed { .. })).count();
+    let completed = run.report.slurm.as_ref().map(|s| s.completed).unwrap_or(0);
+    println!(
+        "\n  simulations: {} submitted, {} completed inside the window; \
+         within-window: {}; retries: {}\n",
+        run.report.n_tasks, completed, run.report.within_window, retries
+    );
+}
 
 fn main() {
     let reg = RegionRegistry::new();
     let scale = Scale::default();
 
     println!("=== Day 0–3: calibration cycle (300 cells × 51 regions × 1 replicate) ===\n");
-    let calib = CombinedWorkflow {
-        workload: WorkloadSpec::calibration(),
-        ..Default::default()
-    }
-    .run(&reg, scale);
-    print!("{}", calib.timeline_text());
-    println!(
-        "\n  simulations: {} submitted, {} completed inside the window; within-window: {}\n",
-        calib.n_tasks, calib.slurm.completed, calib.within_window
-    );
+    let calib = CombinedWorkflow { workload: WorkloadSpec::calibration(), ..Default::default() }
+        .engine(&reg, scale)
+        .run();
+    show_cycle(&calib);
 
     println!("=== Day 3–6: prediction cycle (12 cells × 51 regions × 15 replicates) ===\n");
-    let pred = CombinedWorkflow {
-        workload: WorkloadSpec::prediction(),
-        ..Default::default()
-    }
-    .run(&reg, scale);
-    print!("{}", pred.timeline_text());
+    let pred = CombinedWorkflow { workload: WorkloadSpec::prediction(), ..Default::default() }
+        .engine(&reg, scale)
+        .run();
+    show_cycle(&pred);
+
     println!(
-        "\n  simulations: {} submitted, {} completed inside the window; within-window: {}",
-        pred.n_tasks, pred.slurm.completed, pred.within_window
-    );
-    println!(
-        "\n  end-to-end cycle: {:.1} h calibration + {:.1} h prediction\n\
+        "  end-to-end cycle: {:.1} h calibration + {:.1} h prediction\n\
          (paper Fig. 2: a Wednesday-to-Wednesday cadence with nightly 10 pm–8 am compute)",
-        calib.cycle_secs / 3600.0,
-        pred.cycle_secs / 3600.0
+        calib.report.cycle_secs / 3600.0,
+        pred.report.cycle_secs / 3600.0
     );
 }

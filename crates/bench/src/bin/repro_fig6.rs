@@ -19,11 +19,8 @@ fn main() {
         .regions()
         .par_iter()
         .map(|r| {
-            let data = build_region(
-                &reg,
-                r.id,
-                &BuildConfig { scale, seed: 0x516, ..Default::default() },
-            );
+            let data =
+                build_region(&reg, r.id, &BuildConfig { scale, seed: 0x516, ..Default::default() });
             (r.abbrev.to_string(), data.network.n_nodes, data.network.n_edges())
         })
         .collect();

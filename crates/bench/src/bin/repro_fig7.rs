@@ -19,8 +19,8 @@ use epiflow_epihiper::covid::states;
 use epiflow_epihiper::interventions::base_case;
 use epiflow_epihiper::partition::partition_network;
 use epiflow_epihiper::scaling::{
-    intervention_tick_cost, partition_profile, projected_tick_secs, ActivityProfile,
-    MpiCostModel, Stack,
+    intervention_tick_cost, partition_profile, projected_tick_secs, ActivityProfile, MpiCostModel,
+    Stack,
 };
 use epiflow_epihiper::InterventionSet;
 use epiflow_surveillance::RegionRegistry;
@@ -72,17 +72,12 @@ fn main() {
     let serial = median_secs(
         (0..reps)
             .map(|s| {
-                run_covid(&calib_data, InterventionSet::new(), ticks, 1, s)
-                    .elapsed
-                    .as_secs_f64()
+                run_covid(&calib_data, InterventionSet::new(), ticks, 1, s).elapsed.as_secs_f64()
             })
             .collect(),
     );
-    let model = MpiCostModel::default().calibrate_per_edge(
-        serial,
-        calib_data.network.n_edges() * 2,
-        ticks,
-    );
+    let model =
+        MpiCostModel::default().calibrate_per_edge(serial, calib_data.network.n_edges() * 2, ticks);
     println!(
         "cost model calibrated on measured serial run: {:.1} ns/in-edge\n",
         model.per_edge_secs * 1e9
@@ -125,13 +120,7 @@ fn main() {
     // national networks).
     println!("Fig. 7 (bottom) — runtime by intervention stack (projected at deployment scale)");
     let data = region(&reg, "VA", 500.0);
-    let res = run_covid(
-        &data,
-        base_case(states::SYMPTOMATIC, 30, 40, 100, 0.5, 0.6),
-        ticks,
-        1,
-        1,
-    );
+    let res = run_covid(&data, base_case(states::SYMPTOMATIC, 30, 40, 100, 0.5, 0.6), ticks, 1, 1);
     let occ_sym = res.output.occupancy(states::SYMPTOMATIC);
     let occ_asym = res.output.occupancy(states::ASYMPTOMATIC);
     let mean = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
@@ -152,9 +141,8 @@ fn main() {
         frac_asym * 100.0
     );
     let ranks = 112; // 4 nodes × 28 cores
-    let base_tick =
-        n_deploy as f64 * activity.mean_degree * MpiCostModel::default().per_edge_secs
-            / ranks as f64;
+    let base_tick = n_deploy as f64 * activity.mean_degree * MpiCostModel::default().per_edge_secs
+        / ranks as f64;
     print_row(&["stack", "tick (ms)", "vs base"], &[16, 11, 9]);
     let stacks: [(&str, Stack); 6] = [
         ("base(VHI+SC+SH)", Stack::Base),
@@ -173,7 +161,5 @@ fn main() {
             &[16, 11, 9],
         );
     }
-    println!(
-        "  [paper: RO and TA marginal; PS and D1CT significant; D2CT ≈ +300%]"
-    );
+    println!("  [paper: RO and TA marginal; PS and D1CT significant; D2CT ≈ +300%]");
 }

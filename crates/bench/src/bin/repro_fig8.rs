@@ -32,7 +32,7 @@ fn main() {
     let ticks = 100;
 
     println!("Figure 8 — runtime variance across cells per state (s, {} cells)", cells);
-    println!("{:>6} {:>9} {:>9} {:>9} {:>9}  {}", "state", "nodes", "min", "median", "max", "cells");
+    println!("{:>6} {:>9} {:>9} {:>9} {:>9}  cells", "state", "nodes", "min", "median", "max");
 
     let mut rows: Vec<(String, usize, Vec<f64>)> = reg
         .regions()

@@ -27,8 +27,7 @@ fn run_day(reg: &RegionRegistry, spec: &WorkloadSpec, deployed: bool) -> f64 {
     if deployed {
         let plan = pack(&tasks, ClusterSpec::bridges().nodes, bound, PackAlgo::FfdtDc);
         plan.validate(&tasks, bound).expect("valid plan");
-        let order: Vec<usize> =
-            plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+        let order: Vec<usize> = plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
         SlurmSim::new(ClusterSpec::bridges()).run(&tasks, &order, bound).utilization
     } else {
         let plan = pack_arrival(&tasks, ClusterSpec::bridges().nodes, bound, PackAlgo::NfdtDc);

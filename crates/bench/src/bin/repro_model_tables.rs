@@ -27,12 +27,15 @@ fn main() {
         println!("{:>16} {:>11.2} {:>14.2}", s.name, s.infectivity, s.susceptibility);
     }
     println!("\ntransmissibility τ = {}   [Table IV: 0.18]", m.transmissibility);
-    println!("transmission edges: {} (S, RxFailure) × (P, Sympt, Asympt) → Exposed\n", m.transmissions.len());
+    println!(
+        "transmission edges: {} (S, RxFailure) × (P, Sympt, Asympt) → Exposed\n",
+        m.transmissions.len()
+    );
 
     println!("Table III — age-stratified progression (age groups 0-4, 5-17, 18-49, 50-64, 65+)\n");
     println!(
-        "{:>16} {:>16}  {:>38}  {}",
-        "from", "to", "prob per age group", "dwell (group 0 / group 4)"
+        "{:>16} {:>16}  {:>38}  dwell (group 0 / group 4)",
+        "from", "to", "prob per age group"
     );
     for p in &m.progressions {
         let probs: Vec<String> = p.prob.iter().map(|x| format!("{x:.4}")).collect();

@@ -29,22 +29,14 @@ fn main() {
     // Attack-rate-equivalent: transitions/person = attack × path length.
     // The paper's runs used calibrated attack rates; we extrapolate with
     // the measured value directly.
-    let rows = [
-        ("Economic", 12usize, 15u32),
-        ("Prediction", 12, 15),
-        ("Calibration", 300, 1),
-    ];
+    let rows = [("Economic", 12usize, 15u32), ("Prediction", 12, 15), ("Calibration", 300, 1)];
     let widths = [12, 7, 8, 11, 13, 11, 11];
     println!("Table I — workflow scale and data volumes (paper values in brackets)");
     print_row(
         &["Workflow", "#Cells", "#States", "#Replicates", "#Simulations", "Raw", "Summary"],
         &widths,
     );
-    let paper = [
-        ("3.0TB", "5.0GB"),
-        ("1.0TB", "2.5GB"),
-        ("5.0TB", "4.0GB"),
-    ];
+    let paper = [("3.0TB", "5.0GB"), ("1.0TB", "2.5GB"), ("5.0TB", "4.0GB")];
     for ((name, cells, reps), (praw, psum)) in rows.iter().zip(paper) {
         let per_sim_transitions = 300e6 / 51.0 * per_person;
         let v = WorkflowVolume {

@@ -37,9 +37,8 @@ fn main() {
 
     let reg = RegionRegistry::new();
     let report = CombinedWorkflow::default().run(&reg, Scale::default());
-    let configs = report
-        .transfers
-        .bytes_moved(epiflow_hpcsim::Site::Home, epiflow_hpcsim::Site::Remote);
+    let configs =
+        report.transfers.bytes_moved(epiflow_hpcsim::Site::Home, epiflow_hpcsim::Site::Remote);
     println!(
         "  daily simulation configurations           : {}  [paper: 100 MB – 8.7 GB]",
         fmt_bytes(configs)

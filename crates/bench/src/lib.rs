@@ -83,10 +83,7 @@ pub fn sparkline(values: &[f64]) -> String {
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
     let min = values.iter().cloned().fold(f64::MAX, f64::min);
     let span = (max - min).max(1e-12);
-    values
-        .iter()
-        .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|v| BARS[(((v - min) / span) * 7.0).round() as usize]).collect()
 }
 
 /// Re-export `Scale` for binaries.

@@ -58,16 +58,8 @@ where
             calls.set(calls.get() + 1);
             let theta = space.to_real(unit);
             let sim = simulate(&theta);
-            assert_eq!(
-                sim.len(),
-                observed.len(),
-                "simulator must return one series per county"
-            );
-            observed
-                .iter()
-                .zip(&sim)
-                .map(|(o, s)| county_log_lik(o, s, noise_frac))
-                .sum()
+            assert_eq!(sim.len(), observed.len(), "simulator must return one series per county");
+            observed.iter().zip(&sim).map(|(o, s)| county_log_lik(o, s, noise_frac)).sum()
         },
         config,
     );

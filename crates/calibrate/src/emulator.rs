@@ -60,9 +60,7 @@ impl Emulator {
 
         // Truncation residual: unexplained variance spread across T
         // coordinates (the paper's w₀ term).
-        let unexplained = (p.total_variance
-            - p.explained_variance.iter().sum::<f64>())
-        .max(0.0);
+        let unexplained = (p.total_variance - p.explained_variance.iter().sum::<f64>()).max(0.0);
         let truncation_var = unexplained / t_len.max(1) as f64;
 
         Emulator { space, pca: p, gps, truncation_var, t_len }
@@ -124,9 +122,7 @@ mod tests {
     fn toy_sim(theta: &[f64], t_len: usize) -> Vec<f64> {
         let rate = theta[0];
         let plateau = theta[1];
-        (0..t_len)
-            .map(|t| plateau / (1.0 + (-rate * (t as f64 - 30.0)).exp()))
-            .collect()
+        (0..t_len).map(|t| plateau / (1.0 + (-rate * (t as f64 - 30.0)).exp())).collect()
     }
 
     fn toy_space() -> ParamSpace {
@@ -154,8 +150,7 @@ mod tests {
         for theta in toy_space().sample_lhs(10, 99) {
             let truth = toy_sim(&theta, 60);
             let (mean, _) = em.predict(&theta);
-            let mae: f64 =
-                mean.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 60.0;
+            let mae: f64 = mean.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 60.0;
             assert!(mae < 0.5, "held-out MAE {mae} at {theta:?}");
         }
     }

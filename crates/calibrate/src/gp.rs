@@ -145,7 +145,12 @@ impl GpModel {
                     }
                 }
             }
-            for (field, factor) in [(0usize, 1.0 + step), (0, 1.0 / (1.0 + step)), (1, 1.0 + step), (1, 1.0 / (1.0 + step))] {
+            for (field, factor) in [
+                (0usize, 1.0 + step),
+                (0, 1.0 / (1.0 + step)),
+                (1, 1.0 + step),
+                (1, 1.0 / (1.0 + step)),
+            ] {
                 let mut cand = best.clone();
                 if field == 0 {
                     cand.lambda_w = (cand.lambda_w * factor).clamp(1e-3, 1e4);
@@ -184,18 +189,15 @@ impl GpModel {
         assert_eq!(x_star.len(), self.x.ncols(), "predict: dimension mismatch");
         let n = self.x.nrows();
         let mut kstar = vec![0.0; n];
-        for i in 0..n {
-            kstar[i] = correlation(self.x.row(i), x_star, &self.hyper.rho) / self.hyper.lambda_w;
+        for (i, ks) in kstar.iter_mut().enumerate() {
+            *ks = correlation(self.x.row(i), x_star, &self.hyper.rho) / self.hyper.lambda_w;
         }
         let mean_std = epiflow_linalg::dot(&kstar, &self.alpha);
         // var = k(x*,x*) + nugget − k*ᵀ K⁻¹ k*.
         let v = self.chol.solve(&kstar);
         let prior_var = 1.0 / self.hyper.lambda_w + 1.0 / self.hyper.lambda_n;
         let var_std = (prior_var - epiflow_linalg::dot(&kstar, &v)).max(1e-12);
-        (
-            self.y_mean + self.y_scale * mean_std,
-            self.y_scale * self.y_scale * var_std,
-        )
+        (self.y_mean + self.y_scale * mean_std, self.y_scale * self.y_scale * var_std)
     }
 
     /// Standardized training residual RMS (in-sample fit quality;

@@ -138,12 +138,7 @@ impl<'a> GpmsaCalibration<'a> {
     fn draw_lambda_eps(&self, unit_theta: &[f64], rng: &mut StdRng) -> f64 {
         let theta = self.emulator.space.to_real(unit_theta);
         let (mean, _) = self.emulator.predict(&theta);
-        let rss: f64 = self
-            .observed
-            .iter()
-            .zip(&mean)
-            .map(|(y, m)| (y - m) * (y - m))
-            .sum();
+        let rss: f64 = self.observed.iter().zip(&mean).map(|(y, m)| (y - m) * (y - m)).sum();
         let a = 2.0 + self.observed.len() as f64 / 2.0;
         let b = 0.1 + rss / 2.0;
         Gamma::new(a, 1.0 / b).expect("valid gamma").sample(rng)
@@ -169,11 +164,7 @@ impl<'a> GpmsaCalibration<'a> {
                 cfg.iterations = (cfg.iterations / 4).max(200);
                 cfg.burn_in = (cfg.burn_in / 4).max(50);
             }
-            let chain = metropolis(
-                d,
-                |u| self.log_lik(u, lambda_eps, lambda_delta),
-                &cfg,
-            );
+            let chain = metropolis(d, |u| self.log_lik(u, lambda_eps, lambda_delta), &cfg);
             // Precisions | θ (at the current MAP).
             if let Some(map) = chain.map_sample() {
                 lambda_eps = self.draw_lambda_eps(map, &mut rng).max(1e-3);
@@ -188,11 +179,8 @@ impl<'a> GpmsaCalibration<'a> {
 
         let chain = theta_chain.expect("at least one sweep");
         // Convert unit-cube samples to real coordinates.
-        let real_samples: Vec<Vec<f64>> = chain
-            .samples
-            .iter()
-            .map(|u| self.emulator.space.to_real(u))
-            .collect();
+        let real_samples: Vec<Vec<f64>> =
+            chain.samples.iter().map(|u| self.emulator.space.to_real(u)).collect();
         Posterior {
             theta: Chain {
                 samples: real_samples,
@@ -262,9 +250,8 @@ impl PredictiveBand {
         if n == 0 {
             return 0.0;
         }
-        let hits = (0..n)
-            .filter(|&i| observed[i] >= self.lo[i] && observed[i] <= self.hi[i])
-            .count();
+        let hits =
+            (0..n).filter(|&i| observed[i] >= self.lo[i] && observed[i] <= self.hi[i]).count();
         hits as f64 / n as f64
     }
 }
@@ -277,9 +264,7 @@ mod tests {
     fn toy_sim(theta: &[f64], t_len: usize) -> Vec<f64> {
         let rate = theta[0];
         let plateau = theta[1];
-        (0..t_len)
-            .map(|t| plateau / (1.0 + (-rate * (t as f64 - 25.0)).exp()))
-            .collect()
+        (0..t_len).map(|t| plateau / (1.0 + (-rate * (t as f64 - 25.0)).exp())).collect()
     }
 
     fn setup(t_len: usize) -> (Emulator, Vec<f64>, Vec<f64>) {
@@ -305,11 +290,20 @@ mod tests {
     #[test]
     fn recovers_known_parameters() {
         let (em, observed, truth) = setup(50);
-        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
-            mcmc: MetropolisConfig { iterations: 3000, burn_in: 800, seed: 17, ..Default::default() },
-            gibbs_sweeps: 2,
-            ..Default::default()
-        });
+        let cal = GpmsaCalibration::new(
+            &em,
+            &observed,
+            GpmsaConfig {
+                mcmc: MetropolisConfig {
+                    iterations: 3000,
+                    burn_in: 800,
+                    seed: 17,
+                    ..Default::default()
+                },
+                gibbs_sweeps: 2,
+                ..Default::default()
+            },
+        );
         let post = cal.run();
         let mean = post.theta.mean();
         assert!(
@@ -329,11 +323,20 @@ mod tests {
     #[test]
     fn posterior_tighter_than_prior() {
         let (em, observed, _) = setup(50);
-        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
-            mcmc: MetropolisConfig { iterations: 2500, burn_in: 600, seed: 5, ..Default::default() },
-            gibbs_sweeps: 2,
-            ..Default::default()
-        });
+        let cal = GpmsaCalibration::new(
+            &em,
+            &observed,
+            GpmsaConfig {
+                mcmc: MetropolisConfig {
+                    iterations: 2500,
+                    burn_in: 600,
+                    seed: 5,
+                    ..Default::default()
+                },
+                gibbs_sweeps: 2,
+                ..Default::default()
+            },
+        );
         let post = cal.run();
         let sd = post.theta.std_dev();
         // Prior sd of uniform on [0.05, 0.4] is 0.101; posterior must
@@ -344,11 +347,20 @@ mod tests {
     #[test]
     fn predictive_band_covers_truth() {
         let (em, observed, _) = setup(50);
-        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
-            mcmc: MetropolisConfig { iterations: 2000, burn_in: 500, seed: 9, ..Default::default() },
-            gibbs_sweeps: 2,
-            ..Default::default()
-        });
+        let cal = GpmsaCalibration::new(
+            &em,
+            &observed,
+            GpmsaConfig {
+                mcmc: MetropolisConfig {
+                    iterations: 2000,
+                    burn_in: 500,
+                    seed: 9,
+                    ..Default::default()
+                },
+                gibbs_sweeps: 2,
+                ..Default::default()
+            },
+        );
         let post = cal.run();
         let band = cal.predictive_band(&post, 200, 0.025, 0.975, 11);
         let cov = band.coverage(&observed);
@@ -370,11 +382,20 @@ mod tests {
     #[test]
     fn precisions_positive() {
         let (em, observed, _) = setup(40);
-        let cal = GpmsaCalibration::new(&em, &observed, GpmsaConfig {
-            mcmc: MetropolisConfig { iterations: 800, burn_in: 200, seed: 2, ..Default::default() },
-            gibbs_sweeps: 2,
-            ..Default::default()
-        });
+        let cal = GpmsaCalibration::new(
+            &em,
+            &observed,
+            GpmsaConfig {
+                mcmc: MetropolisConfig {
+                    iterations: 800,
+                    burn_in: 200,
+                    seed: 2,
+                    ..Default::default()
+                },
+                gibbs_sweeps: 2,
+                ..Default::default()
+            },
+        );
         let post = cal.run();
         assert!(post.lambda_eps > 0.0);
         assert!(post.lambda_delta > 0.0);

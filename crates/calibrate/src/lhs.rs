@@ -67,10 +67,7 @@ impl ParamSpace {
     /// True when the real point lies inside the box.
     pub fn contains(&self, real: &[f64]) -> bool {
         real.len() == self.dim()
-            && real
-                .iter()
-                .zip(self.lo.iter().zip(&self.hi))
-                .all(|(x, (lo, hi))| x >= lo && x <= hi)
+            && real.iter().zip(self.lo.iter().zip(&self.hi)).all(|(x, (lo, hi))| x >= lo && x <= hi)
     }
 
     /// Latin hypercube sample of `n` points, returned in real

@@ -85,12 +85,9 @@ impl Chain {
         if sd[a] == 0.0 || sd[b] == 0.0 {
             return 0.0;
         }
-        let cov: f64 = self
-            .samples
-            .iter()
-            .map(|s| (s[a] - mean[a]) * (s[b] - mean[b]))
-            .sum::<f64>()
-            / (self.samples.len().max(2) - 1) as f64;
+        let cov: f64 =
+            self.samples.iter().map(|s| (s[a] - mean[a]) * (s[b] - mean[b])).sum::<f64>()
+                / (self.samples.len().max(2) - 1) as f64;
         cov / (sd[a] * sd[b])
     }
 
@@ -108,9 +105,7 @@ impl Chain {
     pub fn resample(&self, n: usize, seed: u64) -> Vec<Vec<f64>> {
         assert!(!self.samples.is_empty(), "resample from empty chain");
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| self.samples[rng.random_range(0..self.samples.len())].clone())
-            .collect()
+        (0..n).map(|_| self.samples[rng.random_range(0..self.samples.len())].clone()).collect()
     }
 }
 
@@ -177,7 +172,7 @@ where
             step = step.clamp(1e-4, 0.5);
             window_accepted = 0;
         }
-        if it >= config.burn_in && (it - config.burn_in) % config.thin.max(1) == 0 {
+        if it >= config.burn_in && (it - config.burn_in).is_multiple_of(config.thin.max(1)) {
             samples.push(current.clone());
             log_posts.push(current_lp);
         }
@@ -198,20 +193,17 @@ mod tests {
     /// Gaussian target centered at (0.6, 0.4) with sd 0.05.
     fn gaussian_target(x: &[f64]) -> f64 {
         let c = [0.6, 0.4];
-        -x.iter()
-            .zip(&c)
-            .map(|(xi, ci)| (xi - ci) * (xi - ci))
-            .sum::<f64>()
+        -x.iter().zip(&c).map(|(xi, ci)| (xi - ci) * (xi - ci)).sum::<f64>()
             / (2.0 * 0.05f64.powi(2))
     }
 
     #[test]
     fn recovers_gaussian_mean() {
-        let chain = metropolis(2, gaussian_target, &MetropolisConfig {
-            iterations: 8000,
-            burn_in: 2000,
-            ..Default::default()
-        });
+        let chain = metropolis(
+            2,
+            gaussian_target,
+            &MetropolisConfig { iterations: 8000, burn_in: 2000, ..Default::default() },
+        );
         let mean = chain.mean();
         assert!((mean[0] - 0.6).abs() < 0.02, "mean {mean:?}");
         assert!((mean[1] - 0.4).abs() < 0.02, "mean {mean:?}");
@@ -222,11 +214,7 @@ mod tests {
     #[test]
     fn acceptance_reasonable_after_adaptation() {
         let chain = metropolis(2, gaussian_target, &MetropolisConfig::default());
-        assert!(
-            (0.1..0.7).contains(&chain.acceptance),
-            "acceptance {}",
-            chain.acceptance
-        );
+        assert!((0.1..0.7).contains(&chain.acceptance), "acceptance {}", chain.acceptance);
     }
 
     #[test]
@@ -237,12 +225,11 @@ mod tests {
             let d = x[0] - x[1];
             -s * s / (2.0 * 0.02f64.powi(2)) - d * d / (2.0 * 0.3f64.powi(2))
         };
-        let chain = metropolis(2, target, &MetropolisConfig {
-            iterations: 12_000,
-            burn_in: 3000,
-            seed: 4,
-            ..Default::default()
-        });
+        let chain = metropolis(
+            2,
+            target,
+            &MetropolisConfig { iterations: 12_000, burn_in: 3000, seed: 4, ..Default::default() },
+        );
         let corr = chain.correlation(0, 1);
         assert!(corr < -0.6, "correlation {corr}");
     }
@@ -288,8 +275,7 @@ mod tests {
     #[test]
     fn rejects_infeasible_region() {
         // Posterior only finite in the left half.
-        let target =
-            |x: &[f64]| if x[0] < 0.5 { 0.0 } else { f64::NEG_INFINITY };
+        let target = |x: &[f64]| if x[0] < 0.5 { 0.0 } else { f64::NEG_INFINITY };
         let chain = metropolis(1, target, &MetropolisConfig::default());
         assert!(chain.samples.iter().all(|s| s[0] < 0.5));
     }

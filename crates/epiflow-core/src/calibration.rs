@@ -82,8 +82,7 @@ impl CalibrationWorkflow {
 
         // 1. Prior design.
         let prior = StudyDesign::lhs_prior(self.n_prior_cells, &self.base, self.seed);
-        let prior_thetas: Vec<Vec<f64>> =
-            prior.cells.iter().map(|c| c.theta().to_vec()).collect();
+        let prior_thetas: Vec<Vec<f64>> = prior.cells.iter().map(|c| c.theta().to_vec()).collect();
 
         // 2. Simulate.
         let runs = run_design(data, &prior, self.n_partitions, self.seed);

@@ -8,28 +8,28 @@
 //! 10 pm–8 am window, post-simulation aggregation, and the return
 //! transfer of summaries. It produces the Fig.-2-style event timeline,
 //! the Table-II data-volume ledger, and the Fig.-9 utilization numbers.
+//!
+//! Since the orchestrator landed, the cycle runs on the
+//! [`epiflow_orchestrator`] DAG engine: `CombinedWorkflow` builds the
+//! nightly DAG and translates the engine's report back into the
+//! original [`CombinedReport`] shape. With the default (quiet) fault
+//! plan the engine reproduces the hand-rolled sequence exactly; setting
+//! [`CombinedWorkflow::faults`] and [`CombinedWorkflow::deadline`]
+//! turns on seeded fault injection, per-step retries, and
+//! deadline-aware cell shedding.
 
-use epiflow_hpcsim::cluster::{ClusterSpec, Site};
+use epiflow_hpcsim::cluster::ClusterSpec;
 use epiflow_hpcsim::globus::{GlobusLink, TransferLedger};
-use epiflow_hpcsim::schedule::{pack, PackAlgo};
-use epiflow_hpcsim::slurm::{SlurmSim, SlurmStats};
+use epiflow_hpcsim::schedule::PackAlgo;
+use epiflow_hpcsim::slurm::SlurmStats;
 use epiflow_hpcsim::task::{Task, WorkloadSpec};
-use epiflow_hpcsim::PopulationDb;
+use epiflow_orchestrator::{
+    nightly_engine, DeadlinePolicy, DroppedCell, Engine, FaultPlan, NightlySpec, RetryPolicy,
+    RunResult,
+};
 use epiflow_surveillance::{RegionRegistry, Scale};
-use std::collections::HashMap;
 
-/// One timeline entry (Fig. 2's boxes).
-#[derive(Clone, Debug, PartialEq)]
-pub struct TimelineEvent {
-    pub label: String,
-    pub site: Site,
-    /// Seconds on the workflow clock (0 = cycle start).
-    pub start_secs: f64,
-    pub duration_secs: f64,
-    /// Whether the step is automated (orange boxes in Fig. 2) or needs
-    /// a human in the loop.
-    pub automated: bool,
-}
+pub use epiflow_orchestrator::TimelineEvent;
 
 /// The nightly combined workflow.
 #[derive(Clone, Debug)]
@@ -45,10 +45,17 @@ pub struct CombinedWorkflow {
     pub config_gen_secs: f64,
     /// Seconds of analytics time on the home cluster after return.
     pub analysis_secs: f64,
+    /// Fault injection for the cycle (default: quiet).
+    pub faults: FaultPlan,
+    /// Deadline-aware degradation policy (default: off).
+    pub deadline: DeadlinePolicy,
+    /// Retry policy for the Globus transfers.
+    pub transfer_retry: RetryPolicy,
 }
 
 impl Default for CombinedWorkflow {
     fn default() -> Self {
+        let spec = NightlySpec::default();
         CombinedWorkflow {
             home: ClusterSpec::rivanna(),
             remote: ClusterSpec::bridges(),
@@ -62,6 +69,9 @@ impl Default for CombinedWorkflow {
             db_max_connections: 64,
             config_gen_secs: 2.0 * 3600.0,
             analysis_secs: 3.0 * 3600.0,
+            faults: FaultPlan::default(),
+            deadline: DeadlinePolicy::default(),
+            transfer_retry: spec.transfer_retry,
         }
     }
 }
@@ -82,176 +92,95 @@ pub struct CombinedReport {
     pub within_window: bool,
     /// End-to-end cycle duration in seconds.
     pub cycle_secs: f64,
+    /// Cells shed by deadline degradation (empty unless the deadline
+    /// policy fired).
+    pub dropped_cells: Vec<DroppedCell>,
+    /// Failed attempts across all steps.
+    pub total_retries: u32,
+    /// Steps that exhausted their retry policy (empty on a good night).
+    pub failed_steps: Vec<String>,
 }
 
 impl CombinedWorkflow {
-    /// Simulate one nightly cycle.
-    pub fn run(&self, registry: &RegionRegistry, scale: Scale) -> CombinedReport {
+    /// Build the nightly DAG engine for this configuration — the
+    /// general entry point; [`CombinedWorkflow::run`] is `engine().run()`
+    /// plus report translation.
+    pub fn engine(&self, registry: &RegionRegistry, scale: Scale) -> Engine {
         let tasks: Vec<Task> = self.workload.generate(registry, scale);
-        let mut timeline = Vec::new();
-        let mut transfers = TransferLedger::default();
-        let mut clock = 0.0f64;
-
-        // 1. Configuration generation on the home cluster (manual +
-        //    scripted; Fig. 2 shows this as a daytime human task).
-        timeline.push(TimelineEvent {
-            label: "generate simulation configurations".into(),
-            site: Site::Home,
-            start_secs: clock,
-            duration_secs: self.config_gen_secs,
-            automated: false,
-        });
-        clock += self.config_gen_secs;
-
-        // 2. Globus transfer of configurations (Table II: 100 MB–8.7 GB
-        //    per day; ~0.5 MB per simulation configuration).
-        let config_bytes = (tasks.len() as u64) * 500_000;
-        let t = self.link.transfer(Site::Home, Site::Remote, config_bytes, "daily configs", clock);
-        timeline.push(TimelineEvent {
-            label: "Globus: configs home → remote".into(),
-            site: Site::Home,
-            start_secs: clock,
-            duration_secs: t.duration_secs,
-            automated: false, // "started manually using the Globus platform"
-        });
-        clock = transfers.record(t);
-
-        // 3. Population database startup from snapshots, one per region
-        //    in parallel (bounded by the slowest).
+        // Database rows and output volumes use *real* populations: the
+        // combined workflow models the paper's deployment (the task
+        // runtimes are likewise calibrated to the real system's), while
+        // `scale` only shrinks the in-process simulations.
         let regions: Vec<usize> = {
             let mut r: Vec<usize> = tasks.iter().map(|t| t.region).collect();
             r.sort_unstable();
             r.dedup();
             r
         };
-        // Database rows and output volumes use *real* populations: the
-        // combined workflow models the paper's deployment (the task
-        // runtimes are likewise calibrated to the real system's), while
-        // `scale` only shrinks the in-process simulations.
-        let db_secs = regions
-            .iter()
-            .map(|&r| {
-                let rows = registry.region(r).population;
-                PopulationDb::new(r, rows, self.db_max_connections).startup_secs(true)
-            })
-            .fold(0.0f64, f64::max);
-        timeline.push(TimelineEvent {
-            label: "instantiate population database snapshots".into(),
-            site: Site::Remote,
-            start_secs: clock,
-            duration_secs: db_secs,
-            automated: true,
-        });
-        clock += db_secs;
+        let region_rows: Vec<(usize, u64)> =
+            regions.iter().map(|&r| (r, registry.region(r).population)).collect();
+        let spec = NightlySpec {
+            link: self.link.clone(),
+            remote: self.remote.clone(),
+            algo: self.algo,
+            db_max_connections: self.db_max_connections,
+            conns_per_task: self.workload.db_connections_per_task,
+            config_gen_secs: self.config_gen_secs,
+            analysis_secs: self.analysis_secs,
+            transfer_retry: self.transfer_retry,
+        };
+        nightly_engine(&spec, tasks, region_rows, self.faults.clone(), self.deadline)
+    }
 
-        // 4. Pack and execute inside the nightly window.
-        let conns = self.workload.db_connections_per_task.max(1);
-        let bound_of = |_r: usize| self.db_max_connections / conns;
-        let plan = pack(&tasks, self.remote.nodes, bound_of, self.algo);
-        let order: Vec<usize> = plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
-        let slurm = SlurmSim::new(self.remote.clone()).run(&tasks, &order, bound_of);
-        timeline.push(TimelineEvent {
-            label: format!(
-                "Slurm job arrays: {} simulations ({} completed)",
-                tasks.len(),
-                slurm.completed
-            ),
-            site: Site::Remote,
-            start_secs: clock,
-            duration_secs: slurm.makespan_secs,
-            automated: true,
-        });
-        clock += slurm.makespan_secs;
-
-        // 5. Post-simulation aggregation on the remote cluster (scales
-        //    with completed work; ~2% of simulation node-seconds on the
-        //    aggregation nodes).
-        let agg_secs = (slurm.busy_node_secs * 0.02 / self.remote.nodes as f64).max(60.0);
-        timeline.push(TimelineEvent {
-            label: "post-simulation aggregation".into(),
-            site: Site::Remote,
-            start_secs: clock,
-            duration_secs: agg_secs,
-            automated: true,
-        });
-        clock += agg_secs;
-
-        // 6. Output volumes. Per completed simulation: transitions ≈
-        //    25% attack over the region's population, ~6 transitions
-        //    per case, 24 B per line; summaries per Table I shape.
-        let mut raw_bytes = 0u64;
-        let mut summary_bytes = 0u64;
-        let region_pop: HashMap<usize, u64> = regions
-            .iter()
-            .map(|&r| (r, registry.region(r).population))
-            .collect();
-        for (ti, t) in tasks.iter().enumerate() {
-            if slurm.start_times[ti].is_none() {
-                continue;
-            }
-            let pop = region_pop[&t.region];
-            raw_bytes += (pop as f64 * 0.25 * 6.0 * 24.0) as u64;
-            summary_bytes += 365 * 90 * 3 * 4;
-        }
-
-        // 7. Transfer summaries home.
-        let t = self.link.transfer(Site::Remote, Site::Home, summary_bytes, "summaries", clock);
-        timeline.push(TimelineEvent {
-            label: "Globus: summaries remote → home".into(),
-            site: Site::Remote,
-            start_secs: clock,
-            duration_secs: t.duration_secs,
-            automated: true,
-        });
-        clock = transfers.record(t);
-
-        // 8. Analytics + briefing prep on the home cluster.
-        timeline.push(TimelineEvent {
-            label: "analytics, projections, briefing products".into(),
-            site: Site::Home,
-            start_secs: clock,
-            duration_secs: self.analysis_secs,
-            automated: false,
-        });
-        clock += self.analysis_secs;
-
-        let window = self.remote.window_secs() as f64;
-        let remote_secs = db_secs + slurm.makespan_secs + agg_secs;
-        CombinedReport {
-            timeline,
-            transfers,
-            n_tasks: tasks.len(),
-            raw_output_bytes: raw_bytes,
-            summary_bytes,
-            within_window: slurm.unstarted == 0 && remote_secs <= window,
-            cycle_secs: clock,
-            slurm,
-        }
+    /// Simulate one nightly cycle.
+    pub fn run(&self, registry: &RegionRegistry, scale: Scale) -> CombinedReport {
+        CombinedReport::from_engine(self.engine(registry, scale).run())
     }
 }
 
 impl CombinedReport {
+    /// Translate an engine run into the report shape the analytics and
+    /// repro binaries consume.
+    pub fn from_engine(run: RunResult) -> CombinedReport {
+        let report = run.report;
+        let n_tasks = report.n_tasks;
+        CombinedReport {
+            timeline: report.timeline,
+            transfers: TransferLedger { transfers: report.transfers },
+            slurm: report.slurm.unwrap_or(SlurmStats {
+                completed: 0,
+                unstarted: n_tasks,
+                makespan_secs: 0.0,
+                busy_node_secs: 0.0,
+                peak_nodes: 0,
+                utilization: 1.0,
+                start_times: Vec::new(),
+                preempted: 0,
+                lost_node_secs: 0.0,
+            }),
+            n_tasks,
+            raw_output_bytes: report.raw_output_bytes,
+            summary_bytes: report.summary_bytes,
+            within_window: report.within_window,
+            cycle_secs: report.cycle_secs,
+            dropped_cells: report.dropped_cells,
+            total_retries: report.total_retries,
+            failed_steps: report.failed_steps,
+        }
+    }
+
     /// Render the Fig.-2-style timeline as text.
     pub fn timeline_text(&self) -> String {
-        let mut s = String::new();
-        for e in &self.timeline {
-            let site = match e.site {
-                Site::Home => "HOME  ",
-                Site::Remote => "REMOTE",
-            };
-            let kind = if e.automated { "auto  " } else { "manual" };
-            s.push_str(&format!(
-                "[{site}] [{kind}] t+{:>7.0}s  ({:>7.0}s)  {}\n",
-                e.start_secs, e.duration_secs, e.label
-            ));
-        }
-        s
+        epiflow_orchestrator::timeline_text(&self.timeline)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epiflow_hpcsim::cluster::Site;
+    use epiflow_hpcsim::slurm::NodeFailure;
+    use epiflow_orchestrator::LinkFaults;
 
     fn small_workload() -> WorkloadSpec {
         WorkloadSpec { cells: 2, replicates: 2, ..WorkloadSpec::prediction() }
@@ -266,6 +195,8 @@ mod tests {
         assert_eq!(report.slurm.completed, report.n_tasks);
         assert!(report.within_window, "small workload must fit the 10h window");
         assert!(report.cycle_secs > 0.0);
+        assert!(report.dropped_cells.is_empty());
+        assert_eq!(report.total_retries, 0);
     }
 
     #[test]
@@ -319,9 +250,53 @@ mod tests {
         // Summaries come home, raw stays.
         assert!(report.summary_bytes > 0);
         assert!(report.raw_output_bytes > report.summary_bytes);
-        assert_eq!(
-            report.transfers.bytes_moved(Site::Remote, Site::Home),
-            report.summary_bytes
-        );
+        assert_eq!(report.transfers.bytes_moved(Site::Remote, Site::Home), report.summary_bytes);
+    }
+
+    #[test]
+    fn transfer_faults_are_retried_and_cycle_still_completes() {
+        let reg = RegionRegistry::new();
+        // A seed whose first "daily configs" attempt drops but whose
+        // retries get through well inside the policy bound.
+        let seed = (0u64..)
+            .find(|&s| {
+                let f = LinkFaults::new(0.5, s);
+                f.attempt_fails("daily configs", 0)
+                    && !f.attempt_fails("daily configs", 1)
+                    && !f.attempt_fails("summaries", 0)
+            })
+            .unwrap();
+        let wf = CombinedWorkflow {
+            workload: small_workload(),
+            faults: FaultPlan { link: LinkFaults::new(0.5, seed), ..FaultPlan::default() },
+            ..Default::default()
+        };
+        let report = wf.run(&reg, Scale::default());
+        assert_eq!(report.total_retries, 1, "exactly the injected drop");
+        assert!(report.failed_steps.is_empty());
+        assert_eq!(report.slurm.completed, report.n_tasks);
+        assert!(report.within_window);
+        // The retry cost wall-clock relative to a quiet night.
+        let quiet = CombinedWorkflow { workload: small_workload(), ..Default::default() }
+            .run(&reg, Scale::default());
+        assert!(report.cycle_secs > quiet.cycle_secs);
+    }
+
+    #[test]
+    fn node_crash_mid_level_is_absorbed_by_requeue() {
+        let reg = RegionRegistry::new();
+        let wf = CombinedWorkflow {
+            workload: small_workload(),
+            faults: FaultPlan {
+                // Early enough that the machine is still packed, big
+                // enough that idle nodes cannot absorb it.
+                node_failures: vec![NodeFailure { at_secs: 60.0, nodes: 600 }],
+                ..FaultPlan::default()
+            },
+            ..Default::default()
+        };
+        let report = wf.run(&reg, Scale::default());
+        assert!(report.slurm.preempted > 0, "the crash must kill running jobs");
+        assert_eq!(report.slurm.completed, report.n_tasks, "requeue recovers all of them");
     }
 }

@@ -76,12 +76,7 @@ impl CellConfig {
     /// The calibration parameter vector `(TAU, SYMP, SH, VHI)` — the
     /// four varied parameters of case study 3 / Fig. 15.
     pub fn theta(&self) -> [f64; 4] {
-        [
-            self.transmissibility,
-            self.symptomatic_fraction,
-            self.sh_compliance,
-            self.vhi_compliance,
-        ]
+        [self.transmissibility, self.symptomatic_fraction, self.sh_compliance, self.vhi_compliance]
     }
 
     /// Build a cell from a θ vector over the case-study parameter

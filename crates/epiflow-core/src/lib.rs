@@ -21,8 +21,8 @@
 //! [`design`] defines cells (model configurations) and study designs;
 //! [`runner`] executes ⟨cell, region, replicate⟩ grids on rayon.
 
-pub mod combined;
 pub mod calibration;
+pub mod combined;
 pub mod counterfactual;
 pub mod design;
 pub mod prediction;

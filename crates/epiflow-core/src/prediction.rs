@@ -130,12 +130,7 @@ mod tests {
     #[test]
     fn ensemble_band_from_replicated_runs() {
         let data = region();
-        let wf = PredictionWorkflow {
-            replicates: 4,
-            horizon_days: 60,
-            n_partitions: 2,
-            seed: 5,
-        };
+        let wf = PredictionWorkflow { replicates: 4, horizon_days: 60, n_partitions: 2, seed: 5 };
         let res = wf.run(&data, &posterior_like_configs(3));
         assert_eq!(res.runs.len(), 12);
         assert_eq!(res.cumulative_band.median.len(), 60);
@@ -143,11 +138,7 @@ mod tests {
         for t in 0..60 {
             assert!(res.cumulative_band.lo[t] <= res.cumulative_band.hi[t]);
         }
-        assert!(res
-            .cumulative_band
-            .median
-            .windows(2)
-            .all(|w| w[1] >= w[0] - 1e-9));
+        assert!(res.cumulative_band.median.windows(2).all(|w| w[1] >= w[0] - 1e-9));
         assert!(res.median_at(59) > 0.0, "epidemic expected");
     }
 
@@ -156,8 +147,8 @@ mod tests {
         let data = region();
         let wf = PredictionWorkflow { replicates: 5, horizon_days: 50, n_partitions: 2, seed: 6 };
         let res = wf.run(&data, &posterior_like_configs(2));
-        let final_width = res.cumulative_band.hi.last().unwrap()
-            - res.cumulative_band.lo.last().unwrap();
+        let final_width =
+            res.cumulative_band.hi.last().unwrap() - res.cumulative_band.lo.last().unwrap();
         assert!(final_width > 0.0, "replicate noise must widen the band");
     }
 

@@ -118,10 +118,7 @@ pub fn run_cell(
         data.population.persons.iter().map(|p| p.age_group().index() as u8).collect();
     let county: Vec<u16> = data.population.persons.iter().map(|p| p.county).collect();
 
-    let seed = base_seed
-        ^ (data.region as u64) << 40
-        ^ (cell.cell as u64) << 16
-        ^ replicate as u64;
+    let seed = base_seed ^ (data.region as u64) << 40 ^ (cell.cell as u64) << 16 ^ replicate as u64;
     let mut sim = Simulation::new(
         &data.network,
         model,
@@ -141,12 +138,8 @@ pub fn run_cell(
 
     let cum = result.output.cumulative(states::SYMPTOMATIC);
     let log_cum: Vec<f64> = cum.iter().map(|&c| (c as f64 + 1.0).ln()).collect();
-    let daily: Vec<f64> = result
-        .output
-        .daily_new(states::SYMPTOMATIC)
-        .iter()
-        .map(|&x| x as f64)
-        .collect();
+    let daily: Vec<f64> =
+        result.output.daily_new(states::SYMPTOMATIC).iter().map(|&x| x as f64).collect();
     let peak_mem = result.output.memory_bytes.iter().copied().max().unwrap_or(0);
 
     CellRunSummary {
@@ -175,11 +168,8 @@ pub fn run_design(
         .collect();
     jobs.par_iter()
         .map(|&(cell_id, rep)| {
-            let cell = design
-                .cells
-                .iter()
-                .find(|c| c.cell == cell_id)
-                .expect("cell id belongs to design");
+            let cell =
+                design.cells.iter().find(|c| c.cell == cell_id).expect("cell id belongs to design");
             run_cell(data, cell, rep, n_partitions, false, base_seed)
         })
         .collect()
@@ -206,10 +196,8 @@ mod tests {
         let cell = CellConfig { symptomatic_fraction: 0.8, ..Default::default() };
         let m = configure_model(&cell);
         m.validate().unwrap();
-        let asym = m
-            .progressions_from(states::EXPOSED)
-            .find(|p| p.to == states::ASYMPTOMATIC)
-            .unwrap();
+        let asym =
+            m.progressions_from(states::EXPOSED).find(|p| p.to == states::ASYMPTOMATIC).unwrap();
         assert!((asym.prob[0] - 0.2).abs() < 1e-12);
     }
 

@@ -128,12 +128,7 @@ pub fn covid19_model() -> DiseaseModel {
             dwell: same(DwellTime::Normal { mean: 5.0, sd: 1.0 }),
         },
         // Symptomatic three-way branch (verbatim Table III).
-        Progression {
-            from: SYMPTOMATIC,
-            to: ATTENDED,
-            prob: p_attended,
-            dwell: same(attd_dwell),
-        },
+        Progression { from: SYMPTOMATIC, to: ATTENDED, prob: p_attended, dwell: same(attd_dwell) },
         Progression {
             from: SYMPTOMATIC,
             to: ATTENDED_D,
@@ -278,16 +273,10 @@ mod tests {
     #[test]
     fn severity_increases_with_age() {
         let m = covid19_model();
-        let hosp = m
-            .progressions_from(SYMPTOMATIC)
-            .find(|p| p.to == ATTENDED_H)
-            .unwrap();
+        let hosp = m.progressions_from(SYMPTOMATIC).find(|p| p.to == ATTENDED_H).unwrap();
         // 65+ hospitalization risk far exceeds school-age.
         assert!(hosp.prob[4] > 10.0 * hosp.prob[1]);
-        let death = m
-            .progressions_from(SYMPTOMATIC)
-            .find(|p| p.to == ATTENDED_D)
-            .unwrap();
+        let death = m.progressions_from(SYMPTOMATIC).find(|p| p.to == ATTENDED_D).unwrap();
         assert!(death.prob[4] > death.prob[0]);
     }
 

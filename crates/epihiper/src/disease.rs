@@ -289,13 +289,7 @@ pub fn sir_model(beta: f64, mean_infectious_days: f64) -> DiseaseModel {
             from: 1,
             to: 2,
             prob: [1.0; N_AGE_GROUPS],
-            dwell: [
-                dwell.clone(),
-                dwell.clone(),
-                dwell.clone(),
-                dwell.clone(),
-                dwell,
-            ],
+            dwell: [dwell.clone(), dwell.clone(), dwell.clone(), dwell.clone(), dwell],
         }],
         transmissions: vec![Transmission { from: 0, to: 1, via: 1, omega: 1.0 }],
         transmissibility: beta,
@@ -389,9 +383,8 @@ mod tests {
         m.validate().unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let n = 4000;
-        let deaths = (0..n)
-            .filter(|_| m.sample_progression(1, 2, &mut rng).unwrap().0 == 3)
-            .count();
+        let deaths =
+            (0..n).filter(|_| m.sample_progression(1, 2, &mut rng).unwrap().0 == 3).count();
         let frac = deaths as f64 / n as f64;
         assert!((frac - 0.7).abs() < 0.03, "death fraction {frac}");
     }

@@ -350,7 +350,13 @@ impl Simulation {
                 let mut rng = CounterRng::new(self.config.seed, v, t);
                 let (exit, next) =
                     Self::schedule(&self.model, to, self.age_group[vi] as usize, t, &mut rng);
-                events.push(Event { node: v, new_state: to, cause: None, exit_tick: exit, next_state: next });
+                events.push(Event {
+                    node: v,
+                    new_state: to,
+                    cause: None,
+                    exit_tick: exit,
+                    next_state: next,
+                });
                 continue;
             }
             // Transmission scan for susceptible nodes.
@@ -366,21 +372,13 @@ impl Simulation {
                 let u = e.neighbor as usize;
                 let hu = self.state.health[u];
                 let Some((_, omega)) = lut_row[hu as usize] else { continue };
-                if !self
-                    .state
-                    .edge_active(e.edge_id, v, e.neighbor, e.ctx_self, e.ctx_nbr, t)
-                {
+                if !self.state.edge_active(e.edge_id, v, e.neighbor, e.ctx_self, e.ctx_nbr, t) {
                     continue;
                 }
                 let iota = self.model.states[hu as usize].infectivity
                     * self.state.infectivity_scale[u] as f64;
                 // Eq. (1): ρ = T · w_e · σ(Ps)·ι(Pi) · ω, scaled by τ.
-                lambda += e.duration_frac as f64
-                    * e.weight as f64
-                    * sigma
-                    * iota
-                    * omega
-                    * tau;
+                lambda += e.duration_frac as f64 * e.weight as f64 * sigma * iota * omega * tau;
             }
             if lambda <= 0.0 {
                 continue;
@@ -398,10 +396,7 @@ impl Simulation {
                 let u = e.neighbor as usize;
                 let hu = self.state.health[u];
                 let Some((to, omega)) = lut_row[hu as usize] else { continue };
-                if !self
-                    .state
-                    .edge_active(e.edge_id, v, e.neighbor, e.ctx_self, e.ctx_nbr, t)
-                {
+                if !self.state.edge_active(e.edge_id, v, e.neighbor, e.ctx_self, e.ctx_nbr, t) {
                     continue;
                 }
                 let iota = self.model.states[hu as usize].infectivity
@@ -420,14 +415,9 @@ impl Simulation {
                 for e in self.net.in_edges(v).iter().rev() {
                     let hu = self.state.health[e.neighbor as usize];
                     if lut_row[hu as usize].is_some()
-                        && self.state.edge_active(
-                            e.edge_id,
-                            v,
-                            e.neighbor,
-                            e.ctx_self,
-                            e.ctx_nbr,
-                            t,
-                        )
+                        && self
+                            .state
+                            .edge_active(e.edge_id, v, e.neighbor, e.ctx_self, e.ctx_nbr, t)
                     {
                         cause = Some(e.neighbor);
                         to_state = lut_row[hu as usize].expect("checked").0;
@@ -573,7 +563,8 @@ mod tests {
     #[test]
     fn epidemic_spreads_in_dense_network() {
         let net = dense_network(60);
-        let mut sim = sim_on(&net, 2.0, SimConfig { ticks: 60, initial_infections: 3, ..Default::default() });
+        let mut sim =
+            sim_on(&net, 2.0, SimConfig { ticks: 60, initial_infections: 3, ..Default::default() });
         let res = sim.run();
         let recovered = res.output.cumulative(2);
         assert!(
@@ -586,7 +577,8 @@ mod tests {
     #[test]
     fn zero_transmissibility_means_no_spread() {
         let net = dense_network(40);
-        let mut sim = sim_on(&net, 0.0, SimConfig { ticks: 40, initial_infections: 3, ..Default::default() });
+        let mut sim =
+            sim_on(&net, 0.0, SimConfig { ticks: 40, initial_infections: 3, ..Default::default() });
         let res = sim.run();
         assert_eq!(res.output.total_infections(), 0);
         // Seeds still progress to R.
@@ -639,14 +631,13 @@ mod tests {
     #[test]
     fn transmission_has_cause_progression_does_not() {
         let net = dense_network(40);
-        let mut sim = sim_on(&net, 2.0, SimConfig { ticks: 40, initial_infections: 2, ..Default::default() });
+        let mut sim =
+            sim_on(&net, 2.0, SimConfig { ticks: 40, initial_infections: 2, ..Default::default() });
         let res = sim.run();
         for tr in &res.output.transitions {
             match tr.state {
-                1 => {
-                    if tr.tick > 0 {
-                        assert!(tr.cause.is_some(), "infection without cause: {tr:?}");
-                    }
+                1 if tr.tick > 0 => {
+                    assert!(tr.cause.is_some(), "infection without cause: {tr:?}");
                 }
                 2 => assert!(tr.cause.is_none(), "progression with cause: {tr:?}"),
                 _ => {}
@@ -697,11 +688,8 @@ mod tests {
             SimConfig { ticks: 60, seed: 5, initial_infections: 2, ..Default::default() },
         );
         let res = sim.run();
-        let infected_10 = res
-            .output
-            .transitions
-            .iter()
-            .any(|t| t.person == 10 && t.cause.is_some());
+        let infected_10 =
+            res.output.transitions.iter().any(|t| t.person == 10 && t.cause.is_some());
         assert!(!infected_10, "isolated node cannot be infected by contact");
     }
 
@@ -772,11 +760,8 @@ mod tests {
     #[test]
     fn seeding_more_than_population_caps() {
         let net = dense_network(5);
-        let mut sim = sim_on(
-            &net,
-            0.0,
-            SimConfig { ticks: 3, initial_infections: 50, ..Default::default() },
-        );
+        let mut sim =
+            sim_on(&net, 0.0, SimConfig { ticks: 3, initial_infections: 50, ..Default::default() });
         let res = sim.run();
         let seeds = res.output.transitions.iter().filter(|t| t.tick == 0).count();
         assert_eq!(seeds, 5);

@@ -41,7 +41,9 @@ pub struct InterventionCtx<'a> {
 
 /// Deterministic per-node uniform in [0, 1): hash of (seed, salt, node).
 pub fn hash_prob(seed: u64, salt: u64, node: u32) -> f64 {
-    let mut z = seed ^ salt.wrapping_mul(0xA24BAED4963EE407) ^ (node as u64).wrapping_mul(0x9FB21C651E98DF25);
+    let mut z = seed
+        ^ salt.wrapping_mul(0xA24BAED4963EE407)
+        ^ (node as u64).wrapping_mul(0x9FB21C651E98DF25);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^= z >> 31;
@@ -150,11 +152,17 @@ impl Trigger {
 pub enum Target {
     AllNodes,
     /// Nodes currently in a health state.
-    NodesInState { state: StateId },
+    NodesInState {
+        state: StateId,
+    },
     /// Nodes that *entered* a state last tick.
-    NewlyInState { state: StateId },
+    NewlyInState {
+        state: StateId,
+    },
     /// A single node.
-    Node { node: u32 },
+    Node {
+        node: u32,
+    },
 }
 
 /// One operation applied to each (sampled) target element or once
@@ -274,12 +282,9 @@ impl GenericIntervention {
             Target::NodesInState { state } => (0..ctx.state.n_nodes() as u32)
                 .filter(|&v| ctx.state.health[v as usize] == *state)
                 .collect(),
-            Target::NewlyInState { state } => ctx
-                .recent
-                .iter()
-                .filter(|t| t.state == *state)
-                .map(|t| t.person)
-                .collect(),
+            Target::NewlyInState { state } => {
+                ctx.recent.iter().filter(|t| t.state == *state).map(|t| t.person).collect()
+            }
             Target::Node { node } => vec![*node],
         }
     }
@@ -669,22 +674,16 @@ mod tests {
     fn stay_at_home_reduces_infections() {
         let net = work_clique(60);
         let none = run_with(&net, InterventionSet::new(), 3);
-        let sh = run_with(
-            &net,
-            InterventionSet::new().with(Box::new(StayAtHome::new(1, 80, 0.9))),
-            3,
-        );
+        let sh =
+            run_with(&net, InterventionSet::new().with(Box::new(StayAtHome::new(1, 80, 0.9))), 3);
         assert!(sh < none, "SH {sh} should be < baseline {none}");
     }
 
     #[test]
     fn full_compliance_stay_home_stops_workplace_spread() {
         let net = work_clique(40);
-        let infections = run_with(
-            &net,
-            InterventionSet::new().with(Box::new(StayAtHome::new(0, 100, 1.0))),
-            1,
-        );
+        let infections =
+            run_with(&net, InterventionSet::new().with(Box::new(StayAtHome::new(0, 100, 1.0))), 1);
         assert_eq!(infections, 0, "no non-home contacts should remain");
     }
 
@@ -863,8 +862,7 @@ mod tests {
             };
             gi.apply(&mut ctx);
         }
-        let vaccinated =
-            (0..100).filter(|&v| st.susceptibility_scale[v as usize] == 0.0).count();
+        let vaccinated = (0..100).filter(|&v| st.susceptibility_scale[v as usize] == 0.0).count();
         assert!((15..45).contains(&vaccinated), "≈30 expected, got {vaccinated}");
     }
 
@@ -918,14 +916,9 @@ mod tests {
         let st = SimState::new(1, 1, 0);
         let a = Trigger::TickRange { from: 5, to: 10 };
         let not_a = Trigger::Not { inner: Box::new(a.clone()) };
-        let both = Trigger::And {
-            a: Box::new(a.clone()),
-            b: Box::new(Trigger::Always),
-        };
-        let either = Trigger::Or {
-            a: Box::new(Trigger::AtTick { tick: 2 }),
-            b: Box::new(a.clone()),
-        };
+        let both = Trigger::And { a: Box::new(a.clone()), b: Box::new(Trigger::Always) };
+        let either =
+            Trigger::Or { a: Box::new(Trigger::AtTick { tick: 2 }), b: Box::new(a.clone()) };
         assert!(a.eval(7, &st) && !a.eval(10, &st));
         assert!(!not_a.eval(7, &st) && not_a.eval(4, &st));
         assert!(both.eval(6, &st) && !both.eval(11, &st));

@@ -76,10 +76,7 @@ impl SimOutput {
 
     /// County-level daily new counts into `state`.
     pub fn county_daily_new(&self, county: usize, state: StateId) -> Vec<u32> {
-        self.county_new
-            .iter()
-            .map(|row| row.get(county).map_or(0, |c| c[state as usize]))
-            .collect()
+        self.county_new.iter().map(|row| row.get(county).map_or(0, |c| c[state as usize])).collect()
     }
 
     /// Total attack: everyone who ever left the susceptible pool
@@ -108,17 +105,13 @@ impl SimOutput {
         let transmissions = parent.values().filter(|c| c.is_some()).count();
 
         // Offspring counts.
-        let mut offspring: std::collections::HashMap<u32, usize> =
-            std::collections::HashMap::new();
+        let mut offspring: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         for cause in parent.values().flatten() {
             *offspring.entry(*cause).or_insert(0) += 1;
         }
         let infected_total = parent.len();
-        let mean_offspring = if infected_total == 0 {
-            0.0
-        } else {
-            transmissions as f64 / infected_total as f64
-        };
+        let mean_offspring =
+            if infected_total == 0 { 0.0 } else { transmissions as f64 / infected_total as f64 };
 
         // Depth by memoized walk to root.
         let mut depth: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();

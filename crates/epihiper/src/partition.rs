@@ -61,8 +61,7 @@ impl Partitioning {
             return 1.0;
         }
         let max = *self.edge_counts.iter().max().expect("non-empty") as f64;
-        let mean =
-            self.edge_counts.iter().sum::<usize>() as f64 / self.edge_counts.len() as f64;
+        let mean = self.edge_counts.iter().sum::<usize>() as f64 / self.edge_counts.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -182,10 +181,7 @@ mod tests {
     }
 
     fn path_network(n: u32) -> ContactNetwork {
-        ContactNetwork {
-            n_nodes: n as usize,
-            edges: (0..n - 1).map(|i| edge(i, i + 1)).collect(),
-        }
+        ContactNetwork { n_nodes: n as usize, edges: (0..n - 1).map(|i| edge(i, i + 1)).collect() }
     }
 
     #[test]

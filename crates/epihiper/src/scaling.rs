@@ -64,7 +64,12 @@ impl MpiCostModel {
     /// Calibrate `per_edge_secs` from a measured serial run: a run of
     /// `ticks` ticks over a network with `directed_edges` in-edges that
     /// took `measured_secs`.
-    pub fn calibrate_per_edge(mut self, measured_secs: f64, directed_edges: usize, ticks: u32) -> Self {
+    pub fn calibrate_per_edge(
+        mut self,
+        measured_secs: f64,
+        directed_edges: usize,
+        ticks: u32,
+    ) -> Self {
         assert!(directed_edges > 0 && ticks > 0);
         self.per_edge_secs = measured_secs / (directed_edges as f64 * ticks as f64);
         self
@@ -73,10 +78,7 @@ impl MpiCostModel {
 
 /// Per-partition (in-edge count, node count, ghost in-edge count) for a
 /// partitioning of `net`.
-pub fn partition_profile(
-    net: &ContactNetwork,
-    parts: &Partitioning,
-) -> Vec<(usize, usize, usize)> {
+pub fn partition_profile(net: &ContactNetwork, parts: &Partitioning) -> Vec<(usize, usize, usize)> {
     let mut in_edges = vec![0usize; parts.len()];
     let mut ghosts = vec![0usize; parts.len()];
     for e in &net.edges {
@@ -195,8 +197,7 @@ pub fn intervention_tick_cost(
             let detected = activity.mean_symptomatic * detection;
             let expansions = detected * activity.mean_degree; // 1-hop set
             let remote = expansions * activity.mean_degree; // 2-hop lookups
-            expansions * model.per_remote_query_secs * 0.25
-                + remote * model.per_remote_query_secs
+            expansions * model.per_remote_query_secs * 0.25 + remote * model.per_remote_query_secs
         }
     }
 }
@@ -306,8 +307,8 @@ mod tests {
         };
         let model = MpiCostModel::default();
         let base_tick = (n as f64 * 26.0) * model.per_edge_secs / 112.0; // 4 nodes × 28 ranks
-        let d2 = intervention_tick_cost(Stack::D2ct { detection: 0.5 }, &activity, &model, 112)
-            / 112.0; // tracing work also parallelizes over ranks
+        let d2 =
+            intervention_tick_cost(Stack::D2ct { detection: 0.5 }, &activity, &model, 112) / 112.0; // tracing work also parallelizes over ranks
         let ratio = (base_tick + d2) / base_tick;
         assert!((1.5..8.0).contains(&ratio), "D2CT multiplier {ratio}");
     }

@@ -133,10 +133,7 @@ mod tests {
 
     #[test]
     fn non_wrapping_window() {
-        let c = ClusterSpec {
-            window: Some((9 * 3600, 17 * 3600)),
-            ..ClusterSpec::rivanna()
-        };
+        let c = ClusterSpec { window: Some((9 * 3600, 17 * 3600)), ..ClusterSpec::rivanna() };
         assert_eq!(c.window_secs(), 8 * 3600);
         assert!(c.available_at(10 * 3600));
         assert!(!c.available_at(18 * 3600));

@@ -109,11 +109,8 @@ pub fn validate_relaxed_coloring(graph: &ConflictGraph, color: &[u32], r: usize)
         return false;
     }
     (0..graph.len() as u32).all(|v| {
-        let same = graph
-            .neighbors(v)
-            .iter()
-            .filter(|&&u| color[u as usize] == color[v as usize])
-            .count();
+        let same =
+            graph.neighbors(v).iter().filter(|&&u| color[u as usize] == color[v as usize]).count();
         same <= r
     })
 }

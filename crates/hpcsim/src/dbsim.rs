@@ -23,6 +23,8 @@ pub struct PopulationDb {
     refused: u64,
     /// Rows in the person-trait table (drives startup cost).
     pub rows: u64,
+    /// Whether the exhaustion fault hook has fired.
+    exhausted: bool,
 }
 
 /// Error returned when the connection bound would be exceeded.
@@ -48,7 +50,31 @@ impl PopulationDb {
     /// Create a database for a region's population table.
     pub fn new(region: RegionId, rows: u64, max_connections: usize) -> Self {
         assert!(max_connections > 0, "database needs at least one connection");
-        PopulationDb { region, max_connections, in_use: 0, peak: 0, refused: 0, rows }
+        PopulationDb {
+            region,
+            max_connections,
+            in_use: 0,
+            peak: 0,
+            refused: 0,
+            rows,
+            exhausted: false,
+        }
+    }
+
+    /// Fault hook: connection exhaustion (leaked connections from
+    /// crashed jobs, a runaway analytics session). The bound drops to
+    /// `ceil(max_connections × keep_fraction)`, never below 1; already
+    /// held connections stay held, so `in_use` may transiently exceed
+    /// the new bound and further acquires are refused until it drains.
+    pub fn exhaust(&mut self, keep_fraction: f64) {
+        let keep = (self.max_connections as f64 * keep_fraction.clamp(0.0, 1.0)).ceil() as usize;
+        self.max_connections = keep.max(1);
+        self.exhausted = true;
+    }
+
+    /// Whether [`PopulationDb::exhaust`] has fired on this database.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
     }
 
     /// Startup time in seconds. Cold start parses and loads the CSV
@@ -170,6 +196,27 @@ mod tests {
         let cold = db.startup_secs(false);
         let snap = db.startup_secs(true);
         assert!(cold > 5.0 * snap, "cold {cold} vs snapshot {snap}");
+    }
+
+    #[test]
+    fn exhaustion_shrinks_bound_but_keeps_held_connections() {
+        let mut db = PopulationDb::new(2, 100, 8);
+        db.acquire_many(6).unwrap();
+        db.exhaust(0.5); // bound drops to 4, 6 still held
+        assert!(db.exhausted());
+        assert_eq!(db.max_connections, 4);
+        assert_eq!(db.in_use(), 6);
+        assert!(db.acquire().is_err());
+        db.release_many(3);
+        db.acquire().unwrap(); // 3 held < 4: headroom again
+        assert_eq!(db.task_bound(4), 1);
+    }
+
+    #[test]
+    fn exhaustion_never_drops_below_one_connection() {
+        let mut db = PopulationDb::new(2, 100, 8);
+        db.exhaust(0.0);
+        assert_eq!(db.max_connections, 1);
     }
 
     #[test]

@@ -65,6 +65,83 @@ impl GlobusLink {
     }
 }
 
+/// Seeded fault model for a link: each transfer attempt independently
+/// drops mid-flight with probability `fail_prob`. Outcomes are a pure
+/// function of `(seed, label, attempt)` — no stream state — so a
+/// workflow resumed from a journal replays exactly the outcomes the
+/// interrupted run saw.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Per-attempt probability of a mid-flight drop.
+    pub fail_prob: f64,
+    pub seed: u64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults { fail_prob: 0.0, seed: 0 }
+    }
+}
+
+/// FNV-1a over the label, mixed with the seed and attempt number, then
+/// finished with the SplitMix64 avalanche.
+fn mix(seed: u64, label: &str, attempt: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in label.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1));
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(z: u64) -> f64 {
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl LinkFaults {
+    pub fn new(fail_prob: f64, seed: u64) -> Self {
+        LinkFaults { fail_prob, seed }
+    }
+
+    /// Does attempt `attempt` of the transfer named `label` drop?
+    pub fn attempt_fails(&self, label: &str, attempt: u32) -> bool {
+        self.fail_prob > 0.0 && unit(mix(self.seed, label, attempt)) < self.fail_prob
+    }
+
+    /// Fraction of the payload moved before the drop, in [0.05, 0.95]
+    /// (a drop at 0% or 100% would be indistinguishable from an instant
+    /// retry or a success).
+    pub fn failure_fraction(&self, label: &str, attempt: u32) -> f64 {
+        0.05 + 0.90 * unit(mix(self.seed ^ 0xD1B5_4A32_D192_ED03, label, attempt))
+    }
+}
+
+impl GlobusLink {
+    /// One transfer attempt under a fault model: `Ok(duration_secs)` if
+    /// it completes, `Err(wasted_secs)` if it drops partway through
+    /// (handshake overhead plus the partial stream time is lost — Globus
+    /// restarts failed transfers from checkpoint boundaries, modeled
+    /// here as a full restart).
+    pub fn attempt(
+        &self,
+        faults: &LinkFaults,
+        label: &str,
+        attempt: u32,
+        bytes: u64,
+    ) -> Result<f64, f64> {
+        let full = self.duration_secs(bytes);
+        if faults.attempt_fails(label, attempt) {
+            let stream = full - self.overhead_secs;
+            Err(self.overhead_secs + stream * faults.failure_fraction(label, attempt))
+        } else {
+            Ok(full)
+        }
+    }
+}
+
 /// A ledger of all transfers in a workflow run (drives the Table-II
 /// data-movement rows).
 #[derive(Clone, Debug, Default)]
@@ -82,11 +159,7 @@ impl TransferLedger {
 
     /// Total bytes moved in a direction.
     pub fn bytes_moved(&self, from: Site, to: Site) -> u64 {
-        self.transfers
-            .iter()
-            .filter(|t| t.from == from && t.to == to)
-            .map(|t| t.bytes)
-            .sum()
+        self.transfers.iter().filter(|t| t.from == from && t.to == to).map(|t| t.bytes).sum()
     }
 
     /// Total transfer wall-clock (sum of durations; transfers in this
@@ -134,6 +207,41 @@ mod tests {
         assert!(ledger.total_secs() > 0.0);
         // Second transfer starts when the first ends.
         assert!((ledger.transfers[1].start_secs - end1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fail_prob_never_fails() {
+        let link = GlobusLink::default();
+        let faults = LinkFaults::default();
+        for attempt in 0..50 {
+            assert!(link.attempt(&faults, "configs", attempt, 1_000_000).is_ok());
+        }
+    }
+
+    #[test]
+    fn faults_are_deterministic_and_attempt_dependent() {
+        let faults = LinkFaults::new(0.5, 42);
+        let outcomes: Vec<bool> = (0..64).map(|a| faults.attempt_fails("raw", a)).collect();
+        let replay: Vec<bool> = (0..64).map(|a| faults.attempt_fails("raw", a)).collect();
+        assert_eq!(outcomes, replay, "pure function of (seed, label, attempt)");
+        assert!(outcomes.iter().any(|&f| f), "p=0.5 over 64 attempts should fail some");
+        assert!(outcomes.iter().any(|&f| !f), "…and succeed some");
+        // Different labels decorrelate.
+        let other: Vec<bool> = (0..64).map(|a| faults.attempt_fails("summaries", a)).collect();
+        assert_ne!(outcomes, other);
+    }
+
+    #[test]
+    fn failed_attempt_wastes_less_than_a_full_transfer() {
+        let link = GlobusLink::default();
+        let faults = LinkFaults::new(1.0, 7);
+        let bytes = 8_700_000_000u64;
+        let full = link.duration_secs(bytes);
+        for attempt in 0..8 {
+            let wasted = link.attempt(&faults, "configs", attempt, bytes).unwrap_err();
+            assert!(wasted > link.overhead_secs, "a drop still costs the handshake");
+            assert!(wasted < full, "a drop costs less than completing");
+        }
     }
 
     #[test]

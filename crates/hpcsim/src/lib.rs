@@ -31,7 +31,7 @@ pub mod task;
 pub use cluster::{ClusterSpec, Site};
 pub use coloring::{greedy_relaxed_coloring, validate_relaxed_coloring, ConflictGraph};
 pub use dbsim::PopulationDb;
-pub use globus::{GlobusLink, Transfer};
+pub use globus::{GlobusLink, LinkFaults, Transfer};
 pub use schedule::{pack, pack_arrival, pack_in_order, ExecStats, Level, LevelPlan, PackAlgo};
-pub use slurm::{SlurmSim, SlurmStats};
+pub use slurm::{NodeFailure, SlurmSim, SlurmStats};
 pub use task::Task;

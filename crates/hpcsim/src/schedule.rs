@@ -96,12 +96,7 @@ where
 /// this scheduling scheme led to utilization numbers between 44.237%
 /// and 55.579%"). Mixed task heights within a level make the level as
 /// tall as its slowest task while most of its rectangle sits idle.
-pub fn pack_arrival<F>(
-    tasks: &[Task],
-    total_nodes: usize,
-    db_bound: F,
-    algo: PackAlgo,
-) -> LevelPlan
+pub fn pack_arrival<F>(tasks: &[Task], total_nodes: usize, db_bound: F, algo: PackAlgo) -> LevelPlan
 where
     F: Fn(RegionId) -> usize,
 {
@@ -141,10 +136,7 @@ where
         let bound = db_bound(t.region).max(1);
         match algo {
             PackAlgo::NfdtDc => {
-                let ok = levels
-                    .last()
-                    .map(|l| fits(l, t, bound, total_nodes))
-                    .unwrap_or(false);
+                let ok = levels.last().map(|l| fits(l, t, bound, total_nodes)).unwrap_or(false);
                 if !ok {
                     levels.push(Level::default());
                 }

@@ -11,10 +11,11 @@
 use crate::cluster::ClusterSpec;
 use crate::task::Task;
 use epiflow_surveillance::RegionId;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Result of a Slurm execution run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SlurmStats {
     /// Tasks that finished inside the window.
     pub completed: usize,
@@ -31,6 +32,23 @@ pub struct SlurmStats {
     pub utilization: f64,
     /// Per-task start times (s since window open), `None` if unstarted.
     pub start_times: Vec<Option<f64>>,
+    /// Task executions killed by node failures and re-queued (one task
+    /// preempted twice counts twice).
+    pub preempted: usize,
+    /// Node-seconds of work destroyed by preemption (restarts redo the
+    /// full task).
+    pub lost_node_secs: f64,
+}
+
+/// A fault-injection event: `nodes` compute nodes drop out of the
+/// machine at `at_secs` (counted from window open) and never return
+/// during the window — the paper's mid-level node-loss scenario. Jobs
+/// running on lost nodes are killed and re-queued at the head of the
+/// job array (Slurm requeue-on-node-fail behaviour).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeFailure {
+    pub at_secs: f64,
+    pub nodes: usize,
 }
 
 /// The executor.
@@ -53,10 +71,31 @@ impl SlurmSim {
     where
         F: Fn(RegionId) -> usize,
     {
+        self.run_with_faults(tasks, order, db_bound, &[])
+    }
+
+    /// Like [`SlurmSim::run`], with node-failure events injected. When a
+    /// failure fires, the lost nodes are taken from the idle pool first;
+    /// if that is not enough, the most recently started jobs are killed
+    /// (they lose the least work), their surviving nodes return to the
+    /// pool, and the killed jobs are re-queued at the head of the job
+    /// array to restart from scratch. With an empty `failures` slice the
+    /// schedule is identical to `run`.
+    pub fn run_with_faults<F>(
+        &self,
+        tasks: &[Task],
+        order: &[usize],
+        db_bound: F,
+        failures: &[NodeFailure],
+    ) -> SlurmStats
+    where
+        F: Fn(RegionId) -> usize,
+    {
         let window = self.cluster.window_secs() as f64;
-        let total_nodes = self.cluster.nodes;
+        let mut total_nodes = self.cluster.nodes;
         let mut free_nodes = total_nodes;
-        let mut running: Vec<(f64, usize)> = Vec::new(); // (end_time, task index)
+        // (end_time, start_time, task index)
+        let mut running: Vec<(f64, f64, usize)> = Vec::new();
         let mut region_running: HashMap<RegionId, usize> = HashMap::new();
         let mut queue: std::collections::VecDeque<usize> = order.iter().copied().collect();
         let mut start_times: Vec<Option<f64>> = vec![None; tasks.len()];
@@ -65,6 +104,11 @@ impl SlurmSim {
         let mut completed = 0usize;
         let mut last_completion = 0.0f64;
         let mut peak_nodes = 0usize;
+        let mut preempted = 0usize;
+        let mut lost_node_secs = 0.0f64;
+        let mut pending_failures: Vec<NodeFailure> = failures.to_vec();
+        pending_failures.sort_by(|a, b| a.at_secs.partial_cmp(&b.at_secs).expect("NaN failure"));
+        let mut next_failure = 0usize;
 
         loop {
             // Dispatch: scan up to `lookahead` queued jobs for ones that
@@ -77,8 +121,7 @@ impl SlurmSim {
                     let ti = queue[qi];
                     let t = &tasks[ti];
                     let bound = db_bound(t.region).max(1);
-                    let region_ok =
-                        region_running.get(&t.region).copied().unwrap_or(0) < bound;
+                    let region_ok = region_running.get(&t.region).copied().unwrap_or(0) < bound;
                     // A job must also be able to finish before the
                     // window closes (Slurm would not start a job whose
                     // time limit exceeds the reservation).
@@ -86,7 +129,7 @@ impl SlurmSim {
                     if t.nodes <= free_nodes && region_ok && fits_window {
                         free_nodes -= t.nodes;
                         *region_running.entry(t.region).or_insert(0) += 1;
-                        running.push((now + t.actual_secs, ti));
+                        running.push((now + t.actual_secs, now, ti));
                         peak_nodes = peak_nodes.max(total_nodes - free_nodes);
                         start_times[ti] = Some(now);
                         queue.remove(qi);
@@ -99,13 +142,54 @@ impl SlurmSim {
             if running.is_empty() {
                 break; // nothing running and nothing dispatchable
             }
-            // Advance to the next completion.
-            let (idx, &(end, ti)) = running
+            // Next event: earliest completion, unless a node failure
+            // fires first.
+            let (idx, &(end, _start, _ti)) = running
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("NaN end time"))
                 .expect("non-empty running set");
-            running.swap_remove(idx);
+            if next_failure < pending_failures.len()
+                && pending_failures[next_failure].at_secs <= end
+            {
+                let fail = pending_failures[next_failure];
+                next_failure += 1;
+                now = now.max(fail.at_secs);
+                let dead = fail.nodes.min(total_nodes);
+                total_nodes -= dead;
+                let from_idle = dead.min(free_nodes);
+                free_nodes -= from_idle;
+                let mut to_reclaim = dead - from_idle;
+                let mut requeue: Vec<usize> = Vec::new();
+                while to_reclaim > 0 {
+                    // Kill the most recently started job (ties broken by
+                    // task index, for determinism).
+                    let (vi, _) = running
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| {
+                            (a.1 .1, a.1 .2).partial_cmp(&(b.1 .1, b.1 .2)).expect("NaN start time")
+                        })
+                        .expect("reclaim exceeds running nodes");
+                    let (_end, start, ti) = running.swap_remove(vi);
+                    let t = &tasks[ti];
+                    let killed_here = t.nodes.min(to_reclaim);
+                    to_reclaim -= killed_here;
+                    free_nodes += t.nodes - killed_here;
+                    *region_running.get_mut(&t.region).expect("running region") -= 1;
+                    start_times[ti] = None;
+                    lost_node_secs += (now - start) * t.nodes as f64;
+                    preempted += 1;
+                    requeue.push(ti);
+                }
+                // Requeue preserving original relative order.
+                requeue.sort_unstable();
+                for ti in requeue.into_iter().rev() {
+                    queue.push_front(ti);
+                }
+                continue;
+            }
+            let (end, _start, ti) = running.swap_remove(idx);
             now = end;
             let t = &tasks[ti];
             free_nodes += t.nodes;
@@ -128,6 +212,8 @@ impl SlurmSim {
                 1.0
             },
             start_times,
+            preempted,
+            lost_node_secs,
         }
     }
 }
@@ -137,11 +223,7 @@ mod tests {
     use super::*;
 
     fn small_cluster(nodes: usize, window_hours: u32) -> ClusterSpec {
-        ClusterSpec {
-            nodes,
-            window: Some((0, window_hours * 3600)),
-            ..ClusterSpec::rivanna()
-        }
+        ClusterSpec { nodes, window: Some((0, window_hours * 3600)), ..ClusterSpec::rivanna() }
     }
 
     fn task(id: u32, region: RegionId, nodes: usize, secs: f64) -> Task {
@@ -236,6 +318,56 @@ mod tests {
         let order: Vec<usize> = (0..9).collect();
         let stats = sim.run(&tasks, &order, |_| 100);
         assert!(stats.utilization < 0.3, "utilization {}", stats.utilization);
+    }
+
+    #[test]
+    fn no_failures_matches_plain_run() {
+        let tasks: Vec<Task> = (0..10).map(|i| task(i, i as usize % 3, 2, 600.0)).collect();
+        let sim = SlurmSim::new(small_cluster(10, 10));
+        let order: Vec<usize> = (0..10).collect();
+        let a = sim.run(&tasks, &order, |_| 100);
+        let b = sim.run_with_faults(&tasks, &order, |_| 100, &[]);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.start_times, b.start_times);
+        assert_eq!(b.preempted, 0);
+        assert_eq!(b.lost_node_secs, 0.0);
+    }
+
+    #[test]
+    fn node_failure_preempts_and_requeues() {
+        // 4 nodes, two 2-node 1000 s jobs running side by side. At
+        // t=500 two nodes die: the later job (index tie → higher id)
+        // is killed and restarts on the surviving pair once job 0
+        // finishes.
+        let tasks: Vec<Task> = (0..2).map(|i| task(i, i as usize, 2, 1000.0)).collect();
+        let sim = SlurmSim::new(small_cluster(4, 10));
+        let stats = sim.run_with_faults(
+            &tasks,
+            &[0, 1],
+            |_| 100,
+            &[NodeFailure { at_secs: 500.0, nodes: 2 }],
+        );
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.preempted, 1);
+        assert!((stats.lost_node_secs - 1000.0).abs() < 1e-9); // 500 s × 2 nodes
+        assert!((stats.makespan_secs - 2000.0).abs() < 1e-9);
+        assert_eq!(stats.start_times[1], Some(1000.0));
+    }
+
+    #[test]
+    fn failure_can_kill_the_whole_machine() {
+        let tasks: Vec<Task> = (0..3).map(|i| task(i, 0, 2, 1000.0)).collect();
+        let sim = SlurmSim::new(small_cluster(4, 10));
+        let stats = sim.run_with_faults(
+            &tasks,
+            &[0, 1, 2],
+            |_| 100,
+            &[NodeFailure { at_secs: 100.0, nodes: 4 }],
+        );
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.unstarted, 3);
+        assert_eq!(stats.preempted, 2);
     }
 
     #[test]

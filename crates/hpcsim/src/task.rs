@@ -84,9 +84,8 @@ impl WorkloadSpec {
     /// at `scale`: `cells × |regions| × replicates` tasks, Assumption 1
     /// (all cells of a region share the empirical mean time) baked in.
     pub fn generate(&self, registry: &RegionRegistry, scale: Scale) -> Vec<Task> {
-        let mut tasks = Vec::with_capacity(
-            self.cells as usize * self.regions.len() * self.replicates as usize,
-        );
+        let mut tasks =
+            Vec::with_capacity(self.cells as usize * self.regions.len() * self.replicates as usize);
         let mut id = 0u32;
         // Cell-major order: this is the *arrival order* of the nightly
         // job stream (configuration files are written cell by cell), so
@@ -186,8 +185,7 @@ mod tests {
         let reg = RegionRegistry::new();
         let spec = WorkloadSpec { cells: 3, replicates: 2, ..Default::default() };
         let tasks = spec.generate(&reg, Scale::default());
-        let va: Vec<&Task> =
-            tasks.iter().filter(|t| reg.region(t.region).abbrev == "VA").collect();
+        let va: Vec<&Task> = tasks.iter().filter(|t| reg.region(t.region).abbrev == "VA").collect();
         assert!(va.windows(2).all(|w| w[0].est_secs == w[1].est_secs));
     }
 
@@ -219,10 +217,6 @@ mod tests {
         let spec = WorkloadSpec { cells: 1, replicates: 1, noise: 0.0, ..Default::default() };
         let tasks = spec.generate(&reg, Scale::default());
         let ca = tasks.iter().find(|t| reg.region(t.region).abbrev == "CA").unwrap();
-        assert!(
-            (300.0..1500.0).contains(&ca.est_secs),
-            "CA estimated runtime {} s",
-            ca.est_secs
-        );
+        assert!((300.0..1500.0).contains(&ca.est_secs), "CA estimated runtime {} s", ca.est_secs);
     }
 }

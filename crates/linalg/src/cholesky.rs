@@ -70,7 +70,11 @@ pub fn cholesky(a: &Mat) -> Result<Cholesky, CholeskyError> {
 /// `A + jitter·I` with `jitter = j0, 10·j0, …` up to `max_tries` times.
 ///
 /// Returns the factor and the jitter actually used (0.0 if none needed).
-pub fn cholesky_jitter(a: &Mat, j0: f64, max_tries: usize) -> Result<(Cholesky, f64), CholeskyError> {
+pub fn cholesky_jitter(
+    a: &Mat,
+    j0: f64,
+    max_tries: usize,
+) -> Result<(Cholesky, f64), CholeskyError> {
     match cholesky(a) {
         Ok(c) => return Ok((c, 0.0)),
         Err(CholeskyError::NotSquare) => return Err(CholeskyError::NotSquare),
@@ -122,8 +126,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -167,11 +171,7 @@ mod tests {
 
     fn spd3() -> Mat {
         // A = Bᵀ·B + I for a fixed B, guaranteed SPD.
-        Mat::from_rows(&[
-            vec![4.0, 2.0, 0.6],
-            vec![2.0, 5.0, 1.0],
-            vec![0.6, 1.0, 3.0],
-        ])
+        Mat::from_rows(&[vec![4.0, 2.0, 0.6], vec![2.0, 5.0, 1.0], vec![0.6, 1.0, 3.0]])
     }
 
     #[test]

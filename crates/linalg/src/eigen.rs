@@ -27,10 +27,7 @@ pub fn symmetric_eigen(a: &Mat) -> SymmetricEigen {
     let n = a.nrows();
     assert_eq!(n, a.ncols(), "symmetric_eigen: matrix not square");
     let scale = a.max_abs().max(1.0);
-    assert!(
-        a.is_symmetric(1e-8 * scale),
-        "symmetric_eigen: matrix not symmetric"
-    );
+    assert!(a.is_symmetric(1e-8 * scale), "symmetric_eigen: matrix not symmetric");
 
     let mut m = a.clone();
     let mut v = Mat::identity(n);
@@ -131,11 +128,7 @@ mod tests {
 
     #[test]
     fn reconstruction() {
-        let a = Mat::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.2],
-            vec![0.5, 0.2, 5.0],
-        ]);
+        let a = Mat::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.2], vec![0.5, 0.2, 5.0]]);
         let e = symmetric_eigen(&a);
         let lam = Mat::diag(&e.values);
         let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
@@ -144,11 +137,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_orthonormal() {
-        let a = Mat::from_rows(&[
-            vec![2.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 2.0],
-        ]);
+        let a =
+            Mat::from_rows(&[vec![2.0, -1.0, 0.0], vec![-1.0, 2.0, -1.0], vec![0.0, -1.0, 2.0]]);
         let e = symmetric_eigen(&a);
         let vtv = e.vectors.transpose().matmul(&e.vectors);
         assert!((&vtv - &Mat::identity(3)).max_abs() < 1e-9);

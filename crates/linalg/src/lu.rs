@@ -158,11 +158,7 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let a = Mat::from_rows(&[
-            vec![2.0, 1.0, 0.0],
-            vec![1.0, 3.0, 1.0],
-            vec![0.0, 1.0, 2.0],
-        ]);
+        let a = Mat::from_rows(&[vec![2.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
         let inv = lu(&a).unwrap().inverse();
         let prod = a.matmul(&inv);
         assert!((&prod - &Mat::identity(3)).max_abs() < 1e-10);

@@ -83,8 +83,7 @@ pub fn pca(data: &Mat, k: usize) -> Pca {
         for kk in 0..k {
             let u = e.vectors.col(kk);
             let mut v = vec![0.0; d];
-            for i in 0..n {
-                let ui = u[i];
+            for (i, &ui) in u.iter().enumerate().take(n) {
                 if ui == 0.0 {
                     continue;
                 }
@@ -103,12 +102,7 @@ pub fn pca(data: &Mat, k: usize) -> Pca {
             }
             expl.push(e.values[kk].max(0.0));
         }
-        Pca {
-            mean,
-            components: comp,
-            explained_variance: expl,
-            total_variance: total,
-        }
+        Pca { mean, components: comp, explained_variance: expl, total_variance: total }
     }
 }
 
@@ -124,11 +118,7 @@ impl Pca {
         assert_eq!(x.len(), self.mean.len(), "pca transform: length mismatch");
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
         (0..self.k())
-            .map(|kk| {
-                (0..centered.len())
-                    .map(|j| centered[j] * self.components[(j, kk)])
-                    .sum()
-            })
+            .map(|kk| (0..centered.len()).map(|j| centered[j] * self.components[(j, kk)]).sum())
             .collect()
     }
 
@@ -137,8 +127,7 @@ impl Pca {
         assert_eq!(scores.len(), self.k(), "pca inverse: score length mismatch");
         let d = self.mean.len();
         let mut x = self.mean.clone();
-        for kk in 0..self.k() {
-            let s = scores[kk];
+        for (kk, &s) in scores.iter().enumerate() {
             for (j, xj) in x.iter_mut().enumerate().take(d) {
                 *xj += s * self.components[(j, kk)];
             }
@@ -198,13 +187,12 @@ mod tests {
     #[test]
     fn gram_route_matches_covariance_route() {
         // 3 observations, 10 features.
-        let rows: Vec<Vec<f64>> = (0..3)
-            .map(|i| (0..10).map(|j| ((i * 7 + j * 3) % 11) as f64).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..3).map(|i| (0..10).map(|j| ((i * 7 + j * 3) % 11) as f64).collect()).collect();
         let m = Mat::from_rows(&rows);
         let wide = pca(&m, 2); // d > n, Gram route
-        // Force covariance route by transposing twice (same data, pad rows).
-        // Instead check reconstruction quality: rank ≤ 2 suffices for 3 pts.
+                               // Force covariance route by transposing twice (same data, pad rows).
+                               // Instead check reconstruction quality: rank ≤ 2 suffices for 3 pts.
         for row in &rows {
             let rec = wide.inverse_transform(&wide.transform(row));
             for (a, b) in row.iter().zip(&rec) {

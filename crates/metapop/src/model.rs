@@ -65,18 +65,12 @@ impl MetapopOutput {
 
     /// Hospital occupancy per day, summed over counties.
     pub fn hospital_occupancy(&self) -> Vec<f64> {
-        self.series
-            .iter()
-            .map(|day| day.iter().map(|c| c[H]).sum())
-            .collect()
+        self.series.iter().map(|day| day.iter().map(|c| c[H]).sum()).collect()
     }
 
     /// Cumulative deaths per day, summed over counties.
     pub fn deaths(&self) -> Vec<f64> {
-        self.series
-            .iter()
-            .map(|day| day.iter().map(|c| c[D]).sum())
-            .collect()
+        self.series.iter().map(|day| day.iter().map(|c| c[D]).sum()).collect()
     }
 
     /// Susceptible series for a county (mostly for tests).
@@ -105,10 +99,8 @@ impl MetapopModel {
         // Infectious pressure present in each destination county.
         let mut pressure = vec![0.0; n];
         let mut n_eff = vec![0.0; n];
-        for k in 0..n {
-            let infectious = state[k][IS]
-                + p.rel_presymptomatic * state[k][P]
-                + p.rel_asymptomatic * state[k][IA];
+        for (k, sk) in state.iter().enumerate().take(n) {
+            let infectious = sk[IS] + p.rel_presymptomatic * sk[P] + p.rel_asymptomatic * sk[IA];
             let row = self.mixing.row(k);
             for j in 0..n {
                 pressure[j] += row[j] * infectious;
@@ -210,8 +202,7 @@ impl MetapopModel {
                             h / 6.0 * (k1[i][c] + 2.0 * k2[i][c] + 2.0 * k3[i][c] + k4[i][c]);
                         state[i][c] = state[i][c].max(0.0);
                     }
-                    day_cases[i] +=
-                        h / 6.0 * (c1[i] + 2.0 * c2[i] + 2.0 * c3[i] + c4[i]);
+                    day_cases[i] += h / 6.0 * (c1[i] + 2.0 * c2[i] + 2.0 * c3[i] + c4[i]);
                 }
             }
             series.push(state.clone());
@@ -246,8 +237,7 @@ impl MetapopModel {
                 // Normal approximation for large counts.
                 let mean = count as f64 * prob;
                 let var = mean * (1.0 - prob);
-                let z: f64 =
-                    rand_distr::Distribution::sample(&rand_distr::StandardNormal, rng);
+                let z: f64 = rand_distr::Distribution::sample(&rand_distr::StandardNormal, rng);
                 (mean + var.sqrt() * z).round().clamp(0.0, count as f64)
             } else {
                 (0..count).filter(|_| rng.random_bool(prob)).count() as f64
@@ -278,8 +268,8 @@ impl MetapopModel {
                 state[i][H] += to_hosp - h_out;
                 state[i][R] += ia_out + (is_out - to_hosp) + (h_out - to_death);
                 state[i][D] += to_death;
-                for c in 0..NC {
-                    state[i][c] = state[i][c].max(0.0);
+                for v in state[i].iter_mut() {
+                    *v = v.max(0.0);
                 }
                 day_cases[i] = p_out;
             }
@@ -340,12 +330,8 @@ mod tests {
         let m = two_county_model();
         let out = m.run_deterministic(250, &[10.0, 0.0], &no_distancing(), 4);
         let cases = out.state_new_cases();
-        let peak_day = cases
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_day =
+            cases.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(peak_day > 10 && peak_day < 240, "peak at {peak_day}");
         assert!(cases[249] < cases[peak_day] / 5.0, "epidemic must wane");
     }
@@ -431,8 +417,10 @@ mod tests {
         let out = m.run_deterministic(250, &[10.0, 0.0], &no_distancing(), 4);
         let cases = out.state_new_cases();
         let hosp = out.hospital_occupancy();
-        let case_peak = cases.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
-        let hosp_peak = hosp.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let case_peak =
+            cases.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let hosp_peak =
+            hosp.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(hosp_peak >= case_peak, "hospital peak {hosp_peak} lags case peak {case_peak}");
     }
 
@@ -447,7 +435,9 @@ mod tests {
         let det_total = det.final_cumulative_cases()[0];
         let n_reps = 10;
         let mean_total: f64 = (0..n_reps)
-            .map(|s| m.run_stochastic(150, &[20.0], &no_distancing(), s).final_cumulative_cases()[0])
+            .map(|s| {
+                m.run_stochastic(150, &[20.0], &no_distancing(), s).final_cumulative_cases()[0]
+            })
             .sum::<f64>()
             / n_reps as f64;
         let rel = (mean_total - det_total).abs() / det_total;
@@ -467,11 +457,7 @@ mod tests {
 
     #[test]
     fn seeds_capped_at_population() {
-        let m = MetapopModel::new(
-            SeirParams::default(),
-            Mixing::isolated(1),
-            vec![100.0],
-        );
+        let m = MetapopModel::new(SeirParams::default(), Mixing::isolated(1), vec![100.0]);
         let out = m.run_deterministic(10, &[1e9], &no_distancing(), 2);
         let total: f64 = out.series[0].iter().flat_map(|c| c.iter()).sum();
         assert!((total - 100.0).abs() < 1e-6);

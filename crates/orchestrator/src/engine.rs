@@ -1,0 +1,684 @@
+//! The deterministic discrete-event workflow engine.
+//!
+//! Steps execute in dependency order on a simulated wall clock: a step
+//! starts at the latest end time of its dependencies, runs one or more
+//! attempts under its retry policy (failed attempts cost their wasted
+//! time plus an exponential backoff wait), and on completion appends a
+//! write-ahead [`Journal`] entry and applies its [`StepEffect`] to the
+//! cycle state. Everything is a pure function of the DAG, environment,
+//! and fault plan, so two runs — or a run and its journal-resumed
+//! continuation — produce identical reports.
+
+use crate::faults::{fault_unit, FaultPlan};
+use crate::journal::{Journal, JournalEntry, StepEffect};
+use crate::step::{BytesSpec, Dag, StepId, StepKind, StepSpec};
+use epiflow_hpcsim::cluster::{ClusterSpec, Site};
+use epiflow_hpcsim::globus::{GlobusLink, Transfer};
+use epiflow_hpcsim::schedule::{pack, PackAlgo};
+use epiflow_hpcsim::slurm::{SlurmSim, SlurmStats};
+use epiflow_hpcsim::task::Task;
+use epiflow_hpcsim::PopulationDb;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One timeline entry (Fig. 2's boxes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    pub label: String,
+    pub site: Site,
+    /// Seconds on the workflow clock (0 = cycle start).
+    pub start_secs: f64,
+    pub duration_secs: f64,
+    /// Whether the step is automated (orange boxes in Fig. 2) or needs
+    /// a human in the loop.
+    pub automated: bool,
+}
+
+/// Render a Fig.-2-style timeline as text.
+pub fn timeline_text(events: &[TimelineEvent]) -> String {
+    let mut s = String::new();
+    for e in events {
+        let site = match e.site {
+            Site::Home => "HOME  ",
+            Site::Remote => "REMOTE",
+        };
+        let kind = if e.automated { "auto  " } else { "manual" };
+        s.push_str(&format!(
+            "[{site}] [{kind}] t+{:>7.0}s  ({:>7.0}s)  {}\n",
+            e.start_secs, e.duration_secs, e.label
+        ));
+    }
+    s
+}
+
+/// A cell shed by deadline-aware degradation, with exactly what was
+/// dropped.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DroppedCell {
+    pub cell: u32,
+    /// Simulation tasks dropped with the cell.
+    pub tasks: usize,
+}
+
+/// Deadline policy for the execute step. When shedding is on and the
+/// packed workload cannot finish inside the remote window (counting
+/// database startup and the projected aggregation time), the engine
+/// sheds whole cells — highest cell index first, i.e. lowest priority —
+/// until the remainder fits, and reports every shed cell by name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeadlinePolicy {
+    pub shed_cells: bool,
+}
+
+/// Execution environment the typed steps run against.
+#[derive(Clone, Debug)]
+pub struct CycleEnv {
+    pub link: GlobusLink,
+    pub remote: ClusterSpec,
+    pub algo: PackAlgo,
+    /// Per-region database connection bound B(r).
+    pub db_max_connections: usize,
+    pub conns_per_task: usize,
+    /// The night's task list.
+    pub tasks: Vec<Task>,
+    /// `(region, person-trait rows)` for every region in `tasks`.
+    pub region_rows: Vec<(usize, u64)>,
+}
+
+impl CycleEnv {
+    /// An environment for synthetic DAGs (tests, benches) that use no
+    /// nightly-specific steps.
+    pub fn synthetic() -> Self {
+        CycleEnv {
+            link: GlobusLink::default(),
+            remote: ClusterSpec::bridges(),
+            algo: PackAlgo::FfdtDc,
+            db_max_connections: 64,
+            conns_per_task: 4,
+            tasks: Vec::new(),
+            region_rows: Vec::new(),
+        }
+    }
+}
+
+/// Observability stream: everything the engine does, in order. The
+/// timeline and journal are both derived from these.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineEvent {
+    StepStarted {
+        step: StepId,
+        name: String,
+        at_secs: f64,
+    },
+    AttemptFailed {
+        step: StepId,
+        attempt: u32,
+        wasted_secs: f64,
+        backoff_secs: f64,
+    },
+    StepCompleted {
+        step: StepId,
+        attempts: u32,
+        start_secs: f64,
+        end_secs: f64,
+    },
+    StepFailed {
+        step: StepId,
+        attempts: u32,
+        at_secs: f64,
+    },
+    /// Step restored from the journal without re-execution.
+    StepReplayed {
+        step: StepId,
+        end_secs: f64,
+    },
+    CellsShed {
+        step: StepId,
+        dropped: Vec<DroppedCell>,
+    },
+}
+
+/// Final report of one cycle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CycleReport {
+    pub timeline: Vec<TimelineEvent>,
+    /// Transfers in completion order (the Table-II ledger rows).
+    pub transfers: Vec<Transfer>,
+    pub slurm: Option<SlurmStats>,
+    /// Tasks in the night's workload before any shedding.
+    pub n_tasks: usize,
+    pub raw_output_bytes: u64,
+    pub summary_bytes: u64,
+    /// Cells shed by deadline degradation, in shed order.
+    pub dropped_cells: Vec<DroppedCell>,
+    /// Steps that exhausted their retry policy.
+    pub failed_steps: Vec<String>,
+    /// Steps never run because an upstream step failed.
+    pub blocked_steps: Vec<String>,
+    /// Failed attempts across all steps (replayed ones included).
+    pub total_retries: u32,
+    /// Whether the remote-side work fit the nightly window (and no
+    /// step failed outright).
+    pub within_window: bool,
+    /// End-to-end cycle duration in seconds.
+    pub cycle_secs: f64,
+}
+
+impl CycleReport {
+    pub fn timeline_text(&self) -> String {
+        timeline_text(&self.timeline)
+    }
+}
+
+/// Outcome of [`Engine::run`] / [`Engine::resume`].
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub report: CycleReport,
+    /// Write-ahead journal of the full run (replayed prefix included),
+    /// ready to persist.
+    pub journal: Journal,
+    pub events: Vec<EngineEvent>,
+    /// Steps executed live this run — journal replays are excluded,
+    /// which is how tests prove resume does not redo finished work.
+    pub live_steps: Vec<StepId>,
+}
+
+/// Mutable cycle state the step effects build up.
+#[derive(Default)]
+struct CycleState {
+    transfers: Vec<Transfer>,
+    db_secs: f64,
+    db_bounds: HashMap<usize, usize>,
+    slurm: Option<SlurmStats>,
+    agg_secs: f64,
+    raw_output_bytes: u64,
+    summary_bytes: u64,
+    dropped: Vec<DroppedCell>,
+}
+
+/// One successful attempt.
+struct AttemptOk {
+    duration_secs: f64,
+    effect: StepEffect,
+    /// Completion-time label override (e.g. the execute step reports
+    /// its completed-task count).
+    label: Option<String>,
+}
+
+/// The workflow engine: DAG + environment + fault plan + deadline
+/// policy.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    pub dag: Dag,
+    pub env: CycleEnv,
+    pub faults: FaultPlan,
+    pub deadline: DeadlinePolicy,
+}
+
+impl Engine {
+    /// A quiet engine (no faults, no shedding) over a DAG.
+    pub fn new(dag: Dag, env: CycleEnv) -> Self {
+        Engine { dag, env, faults: FaultPlan::default(), deadline: DeadlinePolicy::default() }
+    }
+
+    /// Run the cycle from scratch.
+    pub fn run(&self) -> RunResult {
+        self.resume(&Journal::default())
+    }
+
+    /// Run the cycle, replaying completed steps from `journal` instead
+    /// of re-executing them, then continuing live.
+    pub fn resume(&self, journal: &Journal) -> RunResult {
+        let replayed: HashMap<StepId, &JournalEntry> =
+            journal.entries.iter().map(|e| (e.step, e)).collect();
+        let mut state = CycleState::default();
+        let mut events: Vec<EngineEvent> = Vec::new();
+        let mut out = Journal::default();
+        let mut live_steps: Vec<StepId> = Vec::new();
+        let mut timeline: Vec<TimelineEvent> = Vec::new();
+        let mut end_times: Vec<Option<f64>> = vec![None; self.dag.len()];
+        let mut failed_steps: Vec<String> = Vec::new();
+        let mut blocked_steps: Vec<String> = Vec::new();
+        let mut total_retries = 0u32;
+
+        for (id, spec) in self.dag.steps.iter().enumerate() {
+            if spec.deps.iter().any(|&d| end_times[d].is_none()) {
+                blocked_steps.push(spec.name.clone());
+                continue;
+            }
+            let start =
+                spec.deps.iter().map(|&d| end_times[d].expect("dep end")).fold(0.0, f64::max);
+
+            if let Some(entry) = replayed.get(&id) {
+                // Checkpoint replay: apply the recorded effect, skip
+                // execution entirely.
+                apply_effect(&entry.effect, &mut state);
+                let end = entry.event.start_secs + entry.event.duration_secs;
+                end_times[id] = Some(end);
+                total_retries += entry.attempts.saturating_sub(1);
+                timeline.push(entry.event.clone());
+                out.entries.push((*entry).clone());
+                events.push(EngineEvent::StepReplayed { step: id, end_secs: end });
+                continue;
+            }
+
+            events.push(EngineEvent::StepStarted {
+                step: id,
+                name: spec.name.clone(),
+                at_secs: start,
+            });
+            let mut attempt = 0u32;
+            let mut elapsed = 0.0f64;
+            let mut wasted_total = 0.0f64;
+            let outcome = loop {
+                match self.exec_attempt(spec, attempt, start + elapsed, &state) {
+                    Ok(ok) => break Some((ok, attempt + 1)),
+                    Err(wasted) => {
+                        wasted_total += wasted;
+                        elapsed += wasted;
+                        total_retries += 1;
+                        let last = attempt + 1 >= spec.retry.max_attempts();
+                        let backoff = if last { 0.0 } else { spec.retry.backoff_secs(attempt) };
+                        events.push(EngineEvent::AttemptFailed {
+                            step: id,
+                            attempt,
+                            wasted_secs: wasted,
+                            backoff_secs: backoff,
+                        });
+                        if last {
+                            break None;
+                        }
+                        elapsed += backoff;
+                        attempt += 1;
+                    }
+                }
+            };
+
+            match outcome {
+                None => {
+                    failed_steps.push(spec.name.clone());
+                    events.push(EngineEvent::StepFailed {
+                        step: id,
+                        attempts: spec.retry.max_attempts(),
+                        at_secs: start + elapsed,
+                    });
+                }
+                Some((ok, attempts)) => {
+                    apply_effect(&ok.effect, &mut state);
+                    if let StepEffect::Execution { dropped, .. } = &ok.effect {
+                        if !dropped.is_empty() {
+                            events.push(EngineEvent::CellsShed {
+                                step: id,
+                                dropped: dropped.clone(),
+                            });
+                        }
+                    }
+                    let duration = elapsed + ok.duration_secs;
+                    let event = TimelineEvent {
+                        label: ok.label.unwrap_or_else(|| spec.name.clone()),
+                        site: spec.site,
+                        start_secs: start,
+                        duration_secs: duration,
+                        automated: spec.automated,
+                    };
+                    end_times[id] = Some(start + duration);
+                    timeline.push(event.clone());
+                    out.entries.push(JournalEntry {
+                        step: id,
+                        attempts,
+                        wasted_secs: wasted_total,
+                        event,
+                        effect: ok.effect,
+                    });
+                    events.push(EngineEvent::StepCompleted {
+                        step: id,
+                        attempts,
+                        start_secs: start,
+                        end_secs: start + duration,
+                    });
+                    live_steps.push(id);
+                }
+            }
+        }
+
+        // Stable sort: ties keep step-id order, so a pure chain matches
+        // the hand-rolled sequence exactly.
+        timeline.sort_by(|a, b| a.start_secs.partial_cmp(&b.start_secs).expect("NaN start"));
+        let cycle_secs = end_times.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+        let window = self.env.remote.window_secs() as f64;
+        let within_window = failed_steps.is_empty()
+            && blocked_steps.is_empty()
+            && match &state.slurm {
+                Some(s) => {
+                    s.unstarted == 0 && state.db_secs + s.makespan_secs + state.agg_secs <= window
+                }
+                None => true,
+            };
+        RunResult {
+            report: CycleReport {
+                timeline,
+                transfers: state.transfers,
+                slurm: state.slurm,
+                n_tasks: self.env.tasks.len(),
+                raw_output_bytes: state.raw_output_bytes,
+                summary_bytes: state.summary_bytes,
+                dropped_cells: state.dropped,
+                failed_steps,
+                blocked_steps,
+                total_retries,
+                within_window,
+                cycle_secs,
+            },
+            journal: out,
+            events,
+            live_steps,
+        }
+    }
+
+    /// Execute one attempt of a step. `Ok` carries the attempt duration
+    /// and effect; `Err` carries the wasted seconds.
+    fn exec_attempt(
+        &self,
+        spec: &StepSpec,
+        attempt: u32,
+        attempt_start: f64,
+        state: &CycleState,
+    ) -> Result<AttemptOk, f64> {
+        match &spec.kind {
+            StepKind::Fixed { secs } => {
+                Ok(AttemptOk { duration_secs: *secs, effect: StepEffect::None, label: None })
+            }
+            StepKind::Flaky { secs, fail_attempts, wasted_secs } => {
+                if attempt < *fail_attempts {
+                    Err(*wasted_secs)
+                } else {
+                    Ok(AttemptOk { duration_secs: *secs, effect: StepEffect::None, label: None })
+                }
+            }
+            StepKind::Transfer { from, to, bytes, label } => {
+                let n = match bytes {
+                    BytesSpec::Const { bytes } => *bytes,
+                    BytesSpec::Summaries => state.summary_bytes,
+                };
+                match self.env.link.attempt(&self.faults.link, label, attempt, n) {
+                    Ok(duration) => {
+                        if let Some(cap) = spec.retry.timeout_secs {
+                            if duration > cap {
+                                return Err(cap);
+                            }
+                        }
+                        Ok(AttemptOk {
+                            duration_secs: duration,
+                            effect: StepEffect::Transfer {
+                                transfer: Transfer {
+                                    from: *from,
+                                    to: *to,
+                                    bytes: n,
+                                    label: label.clone(),
+                                    start_secs: attempt_start,
+                                    duration_secs: duration,
+                                },
+                            },
+                            label: None,
+                        })
+                    }
+                    Err(wasted) => Err(match spec.retry.timeout_secs {
+                        Some(cap) => wasted.min(cap),
+                        None => wasted,
+                    }),
+                }
+            }
+            StepKind::DbRestore => {
+                let mut bounds = Vec::with_capacity(self.env.region_rows.len());
+                let mut secs = 0.0f64;
+                for &(region, rows) in &self.env.region_rows {
+                    let mut db = PopulationDb::new(region, rows, self.env.db_max_connections);
+                    if self.faults.db_exhaust_prob > 0.0
+                        && fault_unit(self.faults.seed, "db-exhaust", region as u64)
+                            < self.faults.db_exhaust_prob
+                    {
+                        db.exhaust(self.faults.db_keep_fraction);
+                    }
+                    secs = secs.max(db.startup_secs(true));
+                    bounds.push((region, db.task_bound(self.env.conns_per_task)));
+                }
+                Ok(AttemptOk {
+                    duration_secs: secs,
+                    effect: StepEffect::DbRestore { startup_secs: secs, bounds },
+                    label: None,
+                })
+            }
+            StepKind::SlurmExecute => Ok(self.exec_slurm(state)),
+            StepKind::Collect => {
+                let busy = state.slurm.as_ref().map(|s| s.busy_node_secs).unwrap_or(0.0);
+                let agg = (busy * 0.02 / self.env.remote.nodes as f64).max(60.0);
+                Ok(AttemptOk {
+                    duration_secs: agg,
+                    effect: StepEffect::Collect { agg_secs: agg },
+                    label: None,
+                })
+            }
+        }
+    }
+
+    /// Pack + execute under Slurm, with straggler and node-failure
+    /// faults and the deadline-degradation loop.
+    fn exec_slurm(&self, state: &CycleState) -> AttemptOk {
+        let default_bound = self.env.db_max_connections / self.env.conns_per_task.max(1);
+        let bound_of = |r: usize| state.db_bounds.get(&r).copied().unwrap_or(default_bound).max(1);
+        let window = self.env.remote.window_secs() as f64;
+
+        let mut kept: Vec<Task> = self.env.tasks.clone();
+        if self.faults.straggler_prob > 0.0 {
+            for t in &mut kept {
+                if fault_unit(self.faults.seed, "straggler", t.id as u64)
+                    < self.faults.straggler_prob
+                {
+                    t.actual_secs *= self.faults.straggler_factor;
+                }
+            }
+        }
+
+        let mut dropped: Vec<DroppedCell> = Vec::new();
+        let (stats, agg) = loop {
+            let plan = pack(&kept, self.env.remote.nodes, bound_of, self.env.algo);
+            let order: Vec<usize> =
+                plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+            let stats = SlurmSim::new(self.env.remote.clone()).run_with_faults(
+                &kept,
+                &order,
+                bound_of,
+                &self.faults.node_failures,
+            );
+            let agg = (stats.busy_node_secs * 0.02 / self.env.remote.nodes as f64).max(60.0);
+            let fits = stats.unstarted == 0 && state.db_secs + stats.makespan_secs + agg <= window;
+            if fits || !self.deadline.shed_cells {
+                break (stats, agg);
+            }
+            // Shed the lowest-priority (highest-index) remaining cell.
+            let Some(shed) = kept.iter().map(|t| t.cell).max() else {
+                break (stats, agg);
+            };
+            let n_before = kept.len();
+            kept.retain(|t| t.cell != shed);
+            dropped.push(DroppedCell { cell: shed, tasks: n_before - kept.len() });
+        };
+        let _ = agg; // projected aggregation; the Collect step recomputes it
+
+        // Output volumes over tasks that ran (per completed simulation:
+        // ~25% attack over the population, ~6 transitions/case, 24 B per
+        // line; summaries per Table I shape).
+        let region_pop: HashMap<usize, u64> = self.env.region_rows.iter().copied().collect();
+        let mut raw_output_bytes = 0u64;
+        let mut summary_bytes = 0u64;
+        for (ti, t) in kept.iter().enumerate() {
+            if stats.start_times[ti].is_none() {
+                continue;
+            }
+            let pop = region_pop.get(&t.region).copied().unwrap_or(0);
+            raw_output_bytes += (pop as f64 * 0.25 * 6.0 * 24.0) as u64;
+            summary_bytes += 365 * 90 * 3 * 4;
+        }
+
+        let label =
+            format!("Slurm job arrays: {} simulations ({} completed)", kept.len(), stats.completed);
+        AttemptOk {
+            duration_secs: stats.makespan_secs,
+            effect: StepEffect::Execution {
+                slurm: stats,
+                raw_output_bytes,
+                summary_bytes,
+                dropped,
+            },
+            label: Some(label),
+        }
+    }
+}
+
+fn apply_effect(effect: &StepEffect, state: &mut CycleState) {
+    match effect {
+        StepEffect::None => {}
+        StepEffect::Transfer { transfer } => state.transfers.push(transfer.clone()),
+        StepEffect::DbRestore { startup_secs, bounds } => {
+            state.db_secs = *startup_secs;
+            state.db_bounds = bounds.iter().copied().collect();
+        }
+        StepEffect::Execution { slurm, raw_output_bytes, summary_bytes, dropped } => {
+            state.slurm = Some(slurm.clone());
+            state.raw_output_bytes = *raw_output_bytes;
+            state.summary_bytes = *summary_bytes;
+            state.dropped = dropped.clone();
+        }
+        StepEffect::Collect { agg_secs } => state.agg_secs = *agg_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::RetryPolicy;
+
+    fn fixed(name: &str, secs: f64, deps: Vec<StepId>) -> StepSpec {
+        StepSpec {
+            name: name.into(),
+            site: Site::Home,
+            automated: true,
+            kind: StepKind::Fixed { secs },
+            deps,
+            retry: RetryPolicy::none(),
+        }
+    }
+
+    #[test]
+    fn chain_runs_sequentially() {
+        let mut dag = Dag::default();
+        let a = dag.add(fixed("a", 10.0, vec![]));
+        let b = dag.add(fixed("b", 5.0, vec![a]));
+        dag.add(fixed("c", 1.0, vec![b]));
+        let result = Engine::new(dag, CycleEnv::synthetic()).run();
+        assert_eq!(result.report.cycle_secs, 16.0);
+        assert_eq!(result.report.timeline.len(), 3);
+        assert_eq!(result.journal.entries.len(), 3);
+        assert!(result.report.within_window);
+    }
+
+    #[test]
+    fn diamond_starts_join_at_slowest_branch() {
+        let mut dag = Dag::default();
+        let a = dag.add(fixed("a", 10.0, vec![]));
+        let fast = dag.add(fixed("fast", 1.0, vec![a]));
+        let slow = dag.add(fixed("slow", 100.0, vec![a]));
+        dag.add(fixed("join", 1.0, vec![fast, slow]));
+        let result = Engine::new(dag, CycleEnv::synthetic()).run();
+        let join = result.journal.entries.iter().find(|e| e.event.label == "join").unwrap();
+        assert_eq!(join.event.start_secs, 110.0);
+        assert_eq!(result.report.cycle_secs, 111.0);
+    }
+
+    #[test]
+    fn flaky_step_retries_with_backoff() {
+        let mut dag = Dag::default();
+        dag.add(StepSpec {
+            name: "flaky".into(),
+            site: Site::Remote,
+            automated: true,
+            kind: StepKind::Flaky { secs: 10.0, fail_attempts: 2, wasted_secs: 3.0 },
+            deps: vec![],
+            retry: RetryPolicy::retries(3, 4.0),
+        });
+        let result = Engine::new(dag, CycleEnv::synthetic()).run();
+        let entry = &result.journal.entries[0];
+        assert_eq!(entry.attempts, 3);
+        assert_eq!(entry.wasted_secs, 6.0);
+        // elapsed = 3 + 4 (backoff) + 3 + 8 (backoff) + 10
+        assert_eq!(result.report.cycle_secs, 28.0);
+        assert_eq!(result.report.total_retries, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_and_block_dependents() {
+        let mut dag = Dag::default();
+        let f = dag.add(StepSpec {
+            name: "doomed".into(),
+            site: Site::Remote,
+            automated: true,
+            kind: StepKind::Flaky { secs: 10.0, fail_attempts: 99, wasted_secs: 1.0 },
+            deps: vec![],
+            retry: RetryPolicy::retries(2, 1.0),
+        });
+        dag.add(fixed("downstream", 1.0, vec![f]));
+        let result = Engine::new(dag, CycleEnv::synthetic()).run();
+        assert_eq!(result.report.failed_steps, vec!["doomed".to_string()]);
+        assert_eq!(result.report.blocked_steps, vec!["downstream".to_string()]);
+        assert_eq!(result.report.total_retries, 3);
+        assert!(!result.report.within_window);
+        assert!(result.journal.entries.is_empty());
+    }
+
+    #[test]
+    fn resume_skips_completed_steps() {
+        let mut dag = Dag::default();
+        let a = dag.add(fixed("a", 10.0, vec![]));
+        let b = dag.add(fixed("b", 5.0, vec![a]));
+        dag.add(fixed("c", 1.0, vec![b]));
+        let engine = Engine::new(dag, CycleEnv::synthetic());
+        let full = engine.run();
+        for k in 0..=full.journal.entries.len() {
+            let resumed = engine.resume(&full.journal.prefix(k));
+            assert_eq!(resumed.report, full.report, "prefix {k}");
+            assert_eq!(resumed.journal, full.journal, "prefix {k}");
+            assert_eq!(resumed.live_steps.len(), 3 - k, "prefix {k} must not redo work");
+        }
+    }
+
+    #[test]
+    fn timeout_caps_attempt_cost() {
+        // A transfer whose duration exceeds the timeout fails every
+        // attempt at the cap.
+        let mut dag = Dag::default();
+        dag.add(StepSpec {
+            name: "too slow".into(),
+            site: Site::Home,
+            automated: true,
+            kind: StepKind::Transfer {
+                from: Site::Home,
+                to: Site::Remote,
+                bytes: BytesSpec::Const { bytes: 250_000_000_000 }, // 1000 s at 250 MB/s
+                label: "huge".into(),
+            },
+            deps: vec![],
+            retry: RetryPolicy { timeout_secs: Some(100.0), ..RetryPolicy::retries(1, 0.0) },
+        });
+        let result = Engine::new(dag, CycleEnv::synthetic()).run();
+        assert_eq!(result.report.failed_steps.len(), 1);
+        let failed_at = result
+            .events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::StepFailed { at_secs, .. } => Some(*at_secs),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(failed_at, 200.0, "two attempts, each capped at 100 s");
+    }
+}

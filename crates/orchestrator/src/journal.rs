@@ -1,0 +1,137 @@
+//! Write-ahead journal of step completions.
+//!
+//! The engine appends one [`JournalEntry`] per *completed* step — the
+//! timeline event it produced and the effect it had on cycle state —
+//! before moving on. A cycle interrupted at any point can be resumed
+//! from the journal: completed steps are replayed by applying their
+//! recorded effects (no re-execution), and the run continues from the
+//! first missing step. Because all fault draws are stateless (see
+//! [`crate::faults`]), the resumed run's final report is byte-identical
+//! to the report an uninterrupted run would have produced.
+//!
+//! The journal serializes to JSON via `to_json`/`from_json`, which is
+//! how a real deployment would persist it between the 10 pm kickoff and
+//! an operator restart.
+
+use crate::engine::{DroppedCell, TimelineEvent};
+use crate::step::StepId;
+use epiflow_hpcsim::globus::Transfer;
+use epiflow_hpcsim::slurm::SlurmStats;
+use serde::{Deserialize, Serialize};
+
+/// The state delta a completed step contributed, sufficient to replay
+/// the step without re-executing it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum StepEffect {
+    /// No state beyond the timeline event (fixed-duration steps).
+    None,
+    /// A completed transfer, appended to the cycle ledger.
+    Transfer { transfer: Transfer },
+    /// Database snapshots instantiated; per-region concurrent-task
+    /// bounds (shrunk by any exhaustion faults) feed the execute step.
+    DbRestore { startup_secs: f64, bounds: Vec<(usize, usize)> },
+    /// The night's Slurm execution: stats, output volumes, and any
+    /// cells shed to protect the deadline.
+    Execution {
+        slurm: SlurmStats,
+        raw_output_bytes: u64,
+        summary_bytes: u64,
+        dropped: Vec<DroppedCell>,
+    },
+    /// Post-simulation aggregation time.
+    Collect { agg_secs: f64 },
+}
+
+/// One completed step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    pub step: StepId,
+    /// Attempts the step took (1 = first try succeeded).
+    pub attempts: u32,
+    /// Seconds lost to failed attempts (excluding backoff waits).
+    pub wasted_secs: f64,
+    pub event: TimelineEvent,
+    pub effect: StepEffect,
+}
+
+/// The write-ahead journal: completions in execution order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Journal {
+    pub entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("journal serializes infallibly")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The journal as it stood after the first `n` completions — what a
+    /// crash at that point would have left on disk.
+    pub fn prefix(&self, n: usize) -> Journal {
+        Journal { entries: self.entries[..n.min(self.entries.len())].to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epiflow_hpcsim::cluster::Site;
+
+    #[test]
+    fn journal_round_trips_through_json() {
+        let journal = Journal {
+            entries: vec![JournalEntry {
+                step: 1,
+                attempts: 3,
+                wasted_secs: 41.5,
+                event: TimelineEvent {
+                    label: "Globus: configs home → remote".into(),
+                    site: Site::Home,
+                    start_secs: 7200.0,
+                    duration_secs: 123.456,
+                    automated: false,
+                },
+                effect: StepEffect::Transfer {
+                    transfer: Transfer {
+                        from: Site::Home,
+                        to: Site::Remote,
+                        bytes: 4_590_000_000,
+                        label: "daily configs".into(),
+                        start_secs: 7241.5,
+                        duration_secs: 123.456,
+                    },
+                },
+            }],
+        };
+        let json = journal.to_json();
+        let back = Journal::from_json(&json).expect("parse own journal");
+        assert_eq!(back, journal);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let mut journal = Journal::default();
+        for step in 0..4 {
+            journal.entries.push(JournalEntry {
+                step,
+                attempts: 1,
+                wasted_secs: 0.0,
+                event: TimelineEvent {
+                    label: format!("step {step}"),
+                    site: Site::Remote,
+                    start_secs: step as f64,
+                    duration_secs: 1.0,
+                    automated: true,
+                },
+                effect: StepEffect::None,
+            });
+        }
+        assert_eq!(journal.prefix(2).entries.len(), 2);
+        assert_eq!(journal.prefix(99), journal);
+    }
+}

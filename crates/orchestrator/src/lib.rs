@@ -1,0 +1,43 @@
+//! `epiflow-orchestrator`: a deterministic, fault-tolerant workflow
+//! DAG engine for the nightly combined workflow.
+//!
+//! The paper's primary contribution is the *workflow layer* — nightly
+//! production orchestration of thousands of simulations across two
+//! clusters under a hard 10 pm–8 am window — and the real system had to
+//! survive transfer drops, node loss, and database exhaustion night
+//! after night. This crate generalizes the nightly cycle into a DAG of
+//! typed steps and adds the operational machinery the happy path
+//! lacks:
+//!
+//! * [`step`] — the step taxonomy (config-gen, Globus transfer, DB
+//!   snapshot-restore, pack + Slurm execute, collect, analytics), retry
+//!   policies with exponential backoff and timeouts, and the
+//!   acyclic-by-construction [`Dag`](step::Dag).
+//! * [`faults`] — the seeded fault plan layered over the hpcsim
+//!   substrate: mid-flight transfer drops, mid-level node crashes, DB
+//!   connection exhaustion, straggler tasks. All draws are stateless
+//!   functions of `(seed, label, key)`.
+//! * [`engine`] — the discrete-event executor: per-step retries, an
+//!   observability event stream, deadline-aware degradation that sheds
+//!   lowest-priority cells (and names them) when the 8 am deadline is
+//!   at risk.
+//! * [`journal`] — the write-ahead journal of step completions; a
+//!   killed cycle resumes from it without redoing finished steps, and
+//!   the resumed report is byte-identical to an uninterrupted run.
+//! * [`nightly`] — the builder mapping the Fig.-2 cycle onto the DAG;
+//!   `epiflow-core`'s `CombinedWorkflow` runs on top of it.
+
+pub mod engine;
+pub mod faults;
+pub mod journal;
+pub mod nightly;
+pub mod step;
+
+pub use engine::{
+    timeline_text, CycleEnv, CycleReport, DeadlinePolicy, DroppedCell, Engine, EngineEvent,
+    RunResult, TimelineEvent,
+};
+pub use faults::{fault_unit, FaultPlan, LinkFaults};
+pub use journal::{Journal, JournalEntry, StepEffect};
+pub use nightly::{nightly_engine, NightlySpec};
+pub use step::{BytesSpec, Dag, RetryPolicy, StepId, StepKind, StepSpec};

@@ -112,7 +112,9 @@ impl GroundTruth {
         let mut true_infections = Vec::with_capacity(registry.len());
 
         for region in registry.regions() {
-            let mut rng = StdRng::seed_from_u64(config.seed ^ (region.id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng = StdRng::seed_from_u64(
+                config.seed ^ (region.id as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             let mut counties = Vec::with_capacity(region.n_counties);
             let mut state_true = CaseSeries::default();
 
@@ -293,16 +295,9 @@ mod tests {
     #[test]
     fn intervention_bends_the_curve() {
         let reg = RegionRegistry::new();
-        let strong = GroundTruthConfig {
-            days: 160,
-            intervention_effect: 0.3,
-            ..Default::default()
-        };
-        let none = GroundTruthConfig {
-            days: 160,
-            intervention_effect: 1.0,
-            ..Default::default()
-        };
+        let strong =
+            GroundTruthConfig { days: 160, intervention_effect: 0.3, ..Default::default() };
+        let none = GroundTruthConfig { days: 160, intervention_effect: 1.0, ..Default::default() };
         let a = GroundTruth::generate(&reg, &strong);
         let b = GroundTruth::generate(&reg, &none);
         let ny = reg.by_abbrev("NY").unwrap().id;

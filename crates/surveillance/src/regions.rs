@@ -64,7 +64,11 @@ impl SizeCategory {
 }
 
 /// One of the 51 regions.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Serialize`-only: the `&'static str` name fields point into the
+/// compiled-in region table, so there is nothing to deserialize into —
+/// the registry is rebuilt with [`RegionRegistry::new`] instead.
+#[derive(Clone, Debug, Serialize)]
 pub struct Region {
     pub id: RegionId,
     /// Two-letter postal abbreviation.
@@ -174,8 +178,7 @@ impl RegionRegistry {
             .map(|r| {
                 let n = r.n_counties;
                 // Rank-size weights w_i = 1 / (i+1)^0.75, normalized.
-                let weights: Vec<f64> =
-                    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(0.75)).collect();
+                let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(0.75)).collect();
                 let total: f64 = weights.iter().sum();
                 let mut remaining = r.population;
                 let mut out = Vec::with_capacity(n);

@@ -274,7 +274,15 @@ mod tests {
     use rand::SeedableRng;
 
     fn person(age: u8) -> Person {
-        Person { id: 0, household: 0, age, gender: Gender::Female, county: 0, home_x: 0.0, home_y: 0.0 }
+        Person {
+            id: 0,
+            household: 0,
+            age,
+            gender: Gender::Female,
+            county: 0,
+            home_x: 0.0,
+            home_y: 0.0,
+        }
     }
 
     #[test]
@@ -323,12 +331,8 @@ mod tests {
     fn students_go_to_school_five_days() {
         let mut rng = StdRng::seed_from_u64(2);
         let p = weekly_pattern(Archetype::Student, &mut rng);
-        let school_days: std::collections::HashSet<u8> = p
-            .activities
-            .iter()
-            .filter(|a| a.kind == ActivityType::School)
-            .map(|a| a.day)
-            .collect();
+        let school_days: std::collections::HashSet<u8> =
+            p.activities.iter().filter(|a| a.kind == ActivityType::School).map(|a| a.day).collect();
         assert_eq!(school_days.len(), 5);
     }
 

@@ -105,8 +105,7 @@ fn synthesize_county<R: Rng + ?Sized>(
         })
         .collect();
     let st: f64 = size_targets.iter().sum();
-    let size_targets: Vec<f64> =
-        size_targets.iter().map(|s| s / st * n_persons as f64).collect();
+    let size_targets: Vec<f64> = size_targets.iter().map(|s| s / st * n_persons as f64).collect();
 
     let fitted = ipf(&ipf_seed(), &age_targets, &size_targets, 1e-8, 500);
     let counts = integerize(&fitted.table, n_persons as u64);
@@ -114,6 +113,9 @@ fn synthesize_county<R: Rng + ?Sized>(
     // Pools of persons-to-place per (age group, household size).
     // counts[g][s] persons of group g live in size-(s+1) households.
     let county_x = county as f32 * 2.0;
+    // `s` indexes the inner dimension of `counts[g][s]`; enumerate()
+    // would obscure that.
+    #[allow(clippy::needless_range_loop)]
     for s in 0..6 {
         let size = s + 1;
         let mut pool: Vec<AgeGroup> = Vec::new();
@@ -170,11 +172,8 @@ pub fn build_region(
         StdRng::seed_from_u64(config.seed ^ (region as u64).wrapping_mul(0x9E3779B97F4A7C15));
 
     // Scaled per-county person counts.
-    let county_persons: Vec<usize> = registry
-        .counties(region)
-        .iter()
-        .map(|c| config.scale.apply(c.population))
-        .collect();
+    let county_persons: Vec<usize> =
+        registry.counties(region).iter().map(|c| config.scale.apply(c.population)).collect();
 
     // 1–2. Demographics and households (IPF per county).
     let mut persons = Vec::new();
@@ -233,10 +232,7 @@ mod tests {
         let expect = va.population as f64 / 20_000.0;
         let got = data.population.len() as f64;
         // Integerization + per-county flooring allows a few % drift.
-        assert!(
-            (got - expect).abs() / expect < 0.25,
-            "expected ≈{expect}, got {got}"
-        );
+        assert!((got - expect).abs() / expect < 0.25, "expected ≈{expect}, got {got}");
     }
 
     #[test]
@@ -261,20 +257,17 @@ mod tests {
     fn age_distribution_matches_marginals() {
         let reg = RegionRegistry::new();
         let md = reg.by_abbrev("MD").unwrap().id;
-        let data = build_region(&reg, md, &BuildConfig {
-            scale: Scale::one_per(5_000.0),
-            seed: 11,
-            ..Default::default()
-        });
+        let data = build_region(
+            &reg,
+            md,
+            &BuildConfig { scale: Scale::one_per(5_000.0), seed: 11, ..Default::default() },
+        );
         let hist = data.population.age_histogram();
         let total: usize = hist.iter().sum();
         for (i, group) in AgeGroup::ALL.iter().enumerate() {
             let got = hist[i] as f64 / total as f64;
             let want = group.us_share();
-            assert!(
-                (got - want).abs() < 0.05,
-                "{group:?}: got {got:.3}, want {want:.3}"
-            );
+            assert!((got - want).abs() < 0.05, "{group:?}: got {got:.3}, want {want:.3}");
         }
     }
 

@@ -202,11 +202,7 @@ mod tests {
 
     #[test]
     fn three_by_three_converges() {
-        let seed = vec![
-            vec![5.0, 3.0, 2.0],
-            vec![2.0, 8.0, 1.0],
-            vec![1.0, 1.0, 6.0],
-        ];
+        let seed = vec![vec![5.0, 3.0, 2.0], vec![2.0, 8.0, 1.0], vec![1.0, 1.0, 6.0]];
         let res = ipf(&seed, &[100.0, 150.0, 50.0], &[120.0, 110.0, 70.0], 1e-9, 500);
         assert!(res.converged, "err {}", res.max_error);
     }

@@ -207,10 +207,7 @@ mod tests {
         let m = LocationModel::generate(&[500, 40, 10_000], &mut rng);
         for county in 0..3u16 {
             for kind in ALL_KINDS {
-                assert!(
-                    !m.in_county(county, kind).is_empty(),
-                    "county {county} missing {kind:?}"
-                );
+                assert!(!m.in_county(county, kind).is_empty(), "county {county} missing {kind:?}");
             }
         }
     }
@@ -256,14 +253,10 @@ mod tests {
         // than a uniform share.
         let heaviest = *shops
             .iter()
-            .max_by(|a, b| {
-                m.location(**a).weight.partial_cmp(&m.location(**b).weight).unwrap()
-            })
+            .max_by(|a, b| m.location(**a).weight.partial_cmp(&m.location(**b).weight).unwrap())
             .unwrap();
         let n = 3000;
-        let hits = (0..n)
-            .filter(|_| m.sample(0, LocationKind::Shop, &mut rng) == heaviest)
-            .count();
+        let hits = (0..n).filter(|_| m.sample(0, LocationKind::Shop, &mut rng) == heaviest).count();
         assert!(
             hits as f64 / n as f64 > 1.0 / shops.len() as f64,
             "heaviest sampled {hits}/{n} with {} shops",

@@ -266,10 +266,7 @@ impl ContactNetwork {
             }
             let bad = |what: &str| format!("line {}: bad {what}", lineno + 1);
             let ctx = |s: &str, what: &str| -> Result<ActivityType, String> {
-                s.parse::<u8>()
-                    .ok()
-                    .and_then(ActivityType::from_code)
-                    .ok_or_else(|| bad(what))
+                s.parse::<u8>().ok().and_then(ActivityType::from_code).ok_or_else(|| bad(what))
             };
             edges.push(ContactEdge {
                 u: f[0].parse().map_err(|_| bad("u"))?,
@@ -380,8 +377,22 @@ mod tests {
         let locs = LocationModel::generate(&[2], &mut rng);
         let loc = locs.in_county(0, LocationKind::Shop)[0];
         let visits = vec![
-            Visit { person: 0, location: loc, day: 2, start: 500, duration: 60, activity: ActivityType::Shopping },
-            Visit { person: 1, location: loc, day: 2, start: 700, duration: 60, activity: ActivityType::Shopping },
+            Visit {
+                person: 0,
+                location: loc,
+                day: 2,
+                start: 500,
+                duration: 60,
+                activity: ActivityType::Shopping,
+            },
+            Visit {
+                person: 1,
+                location: loc,
+                day: 2,
+                start: 700,
+                duration: 60,
+                activity: ActivityType::Shopping,
+            },
         ];
         let net = derive_network(&pop, &visits, &locs, 2, &mut rng);
         assert_eq!(net.n_edges(), 0);
@@ -396,8 +407,22 @@ mod tests {
         // Person 0 shops while person 1 works the register, long overlap
         // so the contact fires with near-certainty across retries.
         let visits = vec![
-            Visit { person: 0, location: loc, day: 2, start: 540, duration: 400, activity: ActivityType::Shopping },
-            Visit { person: 1, location: loc, day: 2, start: 500, duration: 480, activity: ActivityType::Work },
+            Visit {
+                person: 0,
+                location: loc,
+                day: 2,
+                start: 540,
+                duration: 400,
+                activity: ActivityType::Shopping,
+            },
+            Visit {
+                person: 1,
+                location: loc,
+                day: 2,
+                start: 500,
+                duration: 480,
+                activity: ActivityType::Work,
+            },
         ];
         let net = derive_network(&pop, &visits, &locs, 2, &mut rng);
         assert_eq!(net.n_edges(), 1);

@@ -53,13 +53,8 @@ impl AgeGroup {
     }
 
     /// All five groups in column order.
-    pub const ALL: [AgeGroup; 5] = [
-        AgeGroup::Preschool,
-        AgeGroup::School,
-        AgeGroup::Adult,
-        AgeGroup::Older,
-        AgeGroup::Senior,
-    ];
+    pub const ALL: [AgeGroup; 5] =
+        [AgeGroup::Preschool, AgeGroup::School, AgeGroup::Adult, AgeGroup::Older, AgeGroup::Senior];
 
     /// Approximate US population share of each group (ACS-like marginals;
     /// used as IPF targets).
@@ -213,7 +208,8 @@ impl Population {
             max_hid = max_hid.max(household);
             persons.push(Person { id, household, age, gender, county, home_x, home_y });
         }
-        let mut households = vec![Vec::new(); (max_hid as usize) + usize::from(!persons.is_empty())];
+        let mut households =
+            vec![Vec::new(); (max_hid as usize) + usize::from(!persons.is_empty())];
         for p in &persons {
             households[p.household as usize].push(p.id);
         }
@@ -249,9 +245,33 @@ mod tests {
         Population {
             region: 46,
             persons: vec![
-                Person { id: 0, household: 0, age: 34, gender: Gender::Female, county: 0, home_x: 1.5, home_y: 2.5 },
-                Person { id: 1, household: 0, age: 8, gender: Gender::Male, county: 0, home_x: 1.5, home_y: 2.5 },
-                Person { id: 2, household: 1, age: 70, gender: Gender::Female, county: 1, home_x: 9.0, home_y: 3.0 },
+                Person {
+                    id: 0,
+                    household: 0,
+                    age: 34,
+                    gender: Gender::Female,
+                    county: 0,
+                    home_x: 1.5,
+                    home_y: 2.5,
+                },
+                Person {
+                    id: 1,
+                    household: 0,
+                    age: 8,
+                    gender: Gender::Male,
+                    county: 0,
+                    home_x: 1.5,
+                    home_y: 2.5,
+                },
+                Person {
+                    id: 2,
+                    household: 1,
+                    age: 70,
+                    gender: Gender::Female,
+                    county: 1,
+                    home_x: 9.0,
+                    home_y: 3.0,
+                },
             ],
             households: vec![vec![0, 1], vec![2]],
         }

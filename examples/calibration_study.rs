@@ -26,7 +26,11 @@ fn main() {
         va,
         &BuildConfig { scale: Scale::one_per(8000.0), seed: 1, ..Default::default() },
     );
-    println!("Virginia (1/8000): {} persons, {} edges", data.population.len(), data.network.n_edges());
+    println!(
+        "Virginia (1/8000): {} persons, {} edges",
+        data.population.len(),
+        data.network.n_edges()
+    );
 
     // The case study's mitigation timeline: school closure, then a
     // stay-at-home order, voluntary home isolation throughout.
@@ -41,7 +45,8 @@ fn main() {
 
     // Hidden truth (what the real system can never know).
     let truth = [0.28, 0.60, 0.55, 0.50];
-    let observed = run_cell(&data, &CellConfig::from_theta(999, &truth, &base), 5, 4, false, 0xFEED);
+    let observed =
+        run_cell(&data, &CellConfig::from_theta(999, &truth, &base), 5, 4, false, 0xFEED);
     println!("generated observed curve from hidden θ = {truth:?}");
 
     // Calibrate: 100 LHS prior cells, GPMSA posterior, 100 posterior
@@ -51,7 +56,12 @@ fn main() {
         n_posterior: 100,
         base: base.clone(),
         gpmsa: GpmsaConfig {
-            mcmc: MetropolisConfig { iterations: 3000, burn_in: 800, seed: 2, ..Default::default() },
+            mcmc: MetropolisConfig {
+                iterations: 3000,
+                burn_in: 800,
+                seed: 2,
+                ..Default::default()
+            },
             gibbs_sweeps: 2,
             ..Default::default()
         },
@@ -64,10 +74,7 @@ fn main() {
     let sd = result.posterior.theta.std_dev();
     println!("\nposterior vs truth:");
     for (k, name) in ["TAU", "SYMP", "SH", "VHI"].iter().enumerate() {
-        println!(
-            "  {name:>5}: posterior {:.3} ± {:.3}   truth {:.3}",
-            mean[k], sd[k], truth[k]
-        );
+        println!("  {name:>5}: posterior {:.3} ± {:.3}   truth {:.3}", mean[k], sd[k], truth[k]);
     }
     println!(
         "  corr(TAU, SYMP) = {:.3}  (paper: negative — the two trade off)",
@@ -101,7 +108,7 @@ fn main() {
         0xFEED,
     );
     let actual = future.log_cum_symptomatic[d].exp() - 1.0;
-    let inside = actual >= prediction.cumulative_band.lo[d]
-        && actual <= prediction.cumulative_band.hi[d];
+    let inside =
+        actual >= prediction.cumulative_band.lo[d] && actual <= prediction.cumulative_band.hi[d];
     println!("actual (hidden) outcome: {actual:.0} → inside 95% band: {inside}");
 }

@@ -21,12 +21,8 @@ fn main() {
     let va = registry.by_abbrev("VA").expect("Virginia exists").id;
     // Model the 20 largest counties (the tail is tiny under the
     // rank-size rule).
-    let counties: Vec<f64> = registry
-        .counties(va)
-        .iter()
-        .take(20)
-        .map(|c| c.population as f64)
-        .collect();
+    let counties: Vec<f64> =
+        registry.counties(va).iter().take(20).map(|c| c.population as f64).collect();
     let pops: Vec<u64> = counties.iter().map(|&p| p as u64).collect();
     println!(
         "Virginia metapopulation: {} counties, {:.1}M people\n",
@@ -41,13 +37,8 @@ fn main() {
     let seeds: Vec<f64> = counties.iter().map(|p| (p / 2e5).clamp(0.0, 30.0)).collect();
     let truth = [0.52, 5.5]; // (beta, infectious days)
     let simulate = |theta: &[f64]| -> Vec<Vec<f64>> {
-        let params = SeirParams {
-            beta: theta[0],
-            gamma: 1.0 / theta[1],
-            ..SeirParams::default()
-        };
-        let model =
-            MetapopModel::new(params, Mixing::gravity(&pops, 0.8), counties.clone());
+        let params = SeirParams { beta: theta[0], gamma: 1.0 / theta[1], ..SeirParams::default() };
+        let model = MetapopModel::new(params, Mixing::gravity(&pops, 0.8), counties.clone());
         let out = model.run_deterministic(
             horizon,
             &seeds,
@@ -95,29 +86,15 @@ fn main() {
 
     // Project the five scenarios from the posterior mean.
     println!("projections under the case study's five scenarios (160 days):");
-    println!(
-        "{:>26} {:>14} {:>12} {:>12}",
-        "scenario", "cum. cases", "peak hosp.", "deaths"
-    );
-    let params = SeirParams {
-        beta: mean[0],
-        gamma: 1.0 / mean[1],
-        ..SeirParams::default()
-    };
+    println!("{:>26} {:>14} {:>12} {:>12}", "scenario", "cum. cases", "peak hosp.", "deaths");
+    let params = SeirParams { beta: mean[0], gamma: 1.0 / mean[1], ..SeirParams::default() };
     let model = MetapopModel::new(params, Mixing::gravity(&pops, 0.8), counties.clone());
     for scenario in Scenario::case_study_set() {
         let out = model.run_deterministic(160, &seeds, &scenario, 2);
         let cum: f64 = out.final_cumulative_cases().iter().sum();
-        let peak_hosp = out
-            .hospital_occupancy()
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
+        let peak_hosp = out.hospital_occupancy().iter().cloned().fold(0.0, f64::max);
         let deaths = *out.deaths().last().unwrap();
-        println!(
-            "{:>26} {:>14.0} {:>12.0} {:>12.0}",
-            scenario.name, cum, peak_hosp, deaths
-        );
+        println!("{:>26} {:>14.0} {:>12.0} {:>12.0}", scenario.name, cum, peak_hosp, deaths);
     }
     println!(
         "\n(the reproduction target is the ordering: worst case ≫ short/weak distancing\n\

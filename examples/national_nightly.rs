@@ -16,20 +16,16 @@ fn main() {
     let scale = Scale::default();
 
     println!("══════ night 1: calibration (300 × 51 × 1 = 15,300 simulations) ══════\n");
-    let calibration = CombinedWorkflow {
-        workload: WorkloadSpec::calibration(),
-        ..Default::default()
-    }
-    .run(&registry, scale);
+    let calibration =
+        CombinedWorkflow { workload: WorkloadSpec::calibration(), ..Default::default() }
+            .run(&registry, scale);
     print!("{}", calibration.timeline_text());
     summarize(&calibration);
 
     println!("\n══════ night 2: prediction (12 × 51 × 15 = 9,180 simulations) ══════\n");
-    let prediction = CombinedWorkflow {
-        workload: WorkloadSpec::prediction(),
-        ..Default::default()
-    }
-    .run(&registry, scale);
+    let prediction =
+        CombinedWorkflow { workload: WorkloadSpec::prediction(), ..Default::default() }
+            .run(&registry, scale);
     print!("{}", prediction.timeline_text());
     summarize(&prediction);
 

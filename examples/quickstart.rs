@@ -49,7 +49,13 @@ fn main() {
         age,
         county,
         interventions,
-        SimConfig { ticks: 150, seed: 7, n_partitions: 4, initial_infections: 10, ..Default::default() },
+        SimConfig {
+            ticks: 150,
+            seed: 7,
+            n_partitions: 4,
+            initial_infections: 10,
+            ..Default::default()
+        },
     );
     let result = sim.run();
     println!(

@@ -1,0 +1,234 @@
+//! Offline shim for the subset of the `criterion` API used by this
+//! workspace's benches: `criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function` / `benchmark_group`, `BenchmarkId`,
+//! `Throughput`, and `Bencher::iter`.
+//!
+//! Measurement is a simple warmup + timed-batch loop printing
+//! mean/min/max per iteration — not criterion's statistics, but enough
+//! to compare orders of magnitude and keep `cargo bench` working
+//! without registry access. When invoked by `cargo test` (which passes
+//! `--test` to harness-less bench binaries) the runner exits
+//! immediately so benches never slow the test suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declared throughput (accepted and echoed, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, printing mean/min/max nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup iteration (also primes caches/allocations).
+        black_box(f());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+        let n = times.len() as f64;
+        let mean = times.iter().sum::<f64>() / n;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "    time: mean {} / min {} / max {}  ({} samples)",
+            fmt_secs(mean),
+            fmt_secs(min),
+            fmt_secs(max),
+            times.len()
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("{}/{}", self.name, id.label);
+        let mut b = Bencher { samples: self.sample_size, budget: self.criterion.budget };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        println!("{}/{}", self.name, id.label);
+        let mut b = Bencher { samples: self.sample_size, budget: self.criterion.budget };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_secs(5) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{name}");
+        let mut b = Bencher { samples: 20, budget: self.budget };
+        f(&mut b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 20 }
+    }
+
+    /// Accepted for API compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// True when the binary was invoked by `cargo test` rather than
+/// `cargo bench` (cargo passes `--test` to harness-less benches).
+pub fn invoked_as_test() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_as_test() {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", "x").label, "f/x");
+        assert_eq!(BenchmarkId::from_parameter(12).label, "12");
+    }
+}

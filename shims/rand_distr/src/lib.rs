@@ -1,0 +1,163 @@
+//! Offline shim for the subset of `rand_distr` 0.5 used by this
+//! workspace: [`Distribution`], [`StandardNormal`], and [`Gamma`].
+//!
+//! See the `rand` shim for why this exists (no registry access in the
+//! build container). Sampling algorithms are the standard ones:
+//! Box–Muller-free polar method for normals and Marsaglia–Tsang for
+//! gammas, both adequate for the repo's simulation workloads.
+
+use rand::{Rng, RngCore};
+
+/// A sampleable distribution (rand_distr shape).
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal N(0, 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: never zero, so ln() below is finite.
+    ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+#[inline]
+fn sample_standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Marsaglia polar method; draws until the pair lands in the unit
+    // disk (probability π/4 per attempt).
+    loop {
+        let u = 2.0 * unit_open(rng) - 1.0;
+        let v = 2.0 * unit_open(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+impl Distribution<f64> for StandardNormal {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        sample_standard_normal(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        sample_standard_normal(rng) as f32
+    }
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    ShapeTooSmall,
+    ScaleTooSmall,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::ShapeTooSmall => write!(f, "gamma shape must be positive"),
+            Error::ScaleTooSmall => write!(f, "gamma scale must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The Gamma(shape k, scale θ) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if shape.is_nan() || shape <= 0.0 {
+            return Err(Error::ShapeTooSmall);
+        }
+        if scale.is_nan() || scale <= 0.0 {
+            return Err(Error::ScaleTooSmall);
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang (2000). For k < 1, boost via
+        // Gamma(k) = Gamma(k+1) · U^(1/k).
+        let (k, boost) = if self.shape < 1.0 {
+            let u = unit_open(rng);
+            (self.shape + 1.0, u.powf(1.0 / self.shape))
+        } else {
+            (self.shape, 1.0)
+        };
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = sample_standard_normal(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = unit_open(rng);
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3 * boost * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // Gamma(20, 1/20): mean 1, var 1/20 — the shape used in the
+        // surveillance ground-truth noise model.
+        let g = Gamma::new(20.0, 1.0 / 20.0).unwrap();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_small_shape() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = Gamma::new(0.5, 2.0).unwrap();
+        let n = 50_000;
+        let mean = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}"); // k·θ = 1
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+    }
+}

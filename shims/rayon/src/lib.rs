@@ -1,0 +1,203 @@
+//! Offline shim for the subset of the `rayon` API used by this
+//! workspace: `slice.par_iter().map(f).collect::<Vec<_>>()` and
+//! `collection.into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The build container has no registry access, so this crate provides
+//! a genuinely parallel implementation on `std::thread::scope`: the
+//! input is chunked across `available_parallelism()` workers, each
+//! worker maps its chunk, and results are concatenated in input order
+//! (the same ordering guarantee rayon's indexed collect gives).
+
+use std::num::NonZeroUsize;
+
+fn worker_count(items: usize) -> usize {
+    if items <= 1 {
+        return 1;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(items)
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+/// `par_iter().map(f)` — the only adapter the workspace uses.
+pub struct ParSliceMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParSliceMap { slice: self.slice, f }
+    }
+}
+
+impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.slice.len();
+        let workers = worker_count(n);
+        if workers <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Owned parallel iterator (ranges, vectors).
+pub struct ParItems<T> {
+    items: Vec<T>,
+}
+
+pub struct ParItemsMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParItems<T> {
+    pub fn map<R, F>(self, f: F) -> ParItemsMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParItemsMap { items: self.items, f }
+    }
+}
+
+impl<T: Send, F> ParItemsMap<T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let workers = worker_count(n);
+        if workers <= 1 {
+            return self.items.into_iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut rest = self.items;
+        while rest.len() > chunk {
+            let tail = rest.split_off(chunk);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        chunks.push(rest);
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParItems<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParItems<T> {
+        ParItems { items: self }
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParItems<$t> {
+                ParItems { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_into_par_range!(u32, u64, usize, i32, i64);
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), xs.len());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::<u32>::new().par_iter().map(|x| *x).collect();
+        assert!(none.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

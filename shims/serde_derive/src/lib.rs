@@ -1,0 +1,399 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the offline `serde` shim.
+//!
+//! The build container has no access to a crates registry, so `syn` /
+//! `quote` are unavailable; this macro walks the raw
+//! [`proc_macro::TokenStream`] instead. It supports exactly the shapes
+//! the workspace uses:
+//!
+//! * structs with named fields (`#[serde(default)]` honored per field);
+//! * enums with unit variants (serialized as the variant-name string);
+//! * internally tagged enums — `#[serde(tag = "...", rename_all =
+//!   "snake_case")]` — with unit and named-field variants.
+//!
+//! Tuple structs, tuple variants, generics, and the rest of serde's
+//! attribute language are intentionally unsupported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<(String, Vec<Field>)>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Extract `tag = "..."` / `rename_all = "..."` / `default` markers
+/// from the token list of one `serde(...)` attribute body.
+fn parse_serde_attr(tokens: Vec<TokenTree>, attrs: &mut ContainerAttrs, default: &mut bool) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                if key == "default" {
+                    *default = true;
+                    i += 1;
+                } else if i + 2 < tokens.len() {
+                    if let TokenTree::Literal(lit) = &tokens[i + 2] {
+                        let val = lit.to_string().trim_matches('"').to_string();
+                        match key.as_str() {
+                            "tag" => attrs.tag = Some(val),
+                            "rename_all" => {
+                                assert!(
+                                    val == "snake_case",
+                                    "serde shim: only rename_all = \"snake_case\" is supported"
+                                );
+                                attrs.rename_all_snake = true;
+                            }
+                            other => panic!("serde shim: unsupported serde attribute `{other}`"),
+                        }
+                    }
+                    i += 3;
+                } else {
+                    panic!("serde shim: unsupported serde attribute form near `{key}`");
+                }
+            }
+            _ => i += 1, // commas
+        }
+    }
+}
+
+/// Consume leading `#[...]` attributes starting at `*i`, folding any
+/// `#[serde(...)]` contents into `attrs` / `default`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize, attrs: &mut ContainerAttrs, default: &mut bool) {
+    while *i < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            panic!("serde shim: `#` not followed by attribute group")
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(body)) = inner.get(1) {
+                    parse_serde_attr(body.stream().into_iter().collect(), attrs, default);
+                }
+            }
+        }
+        *i += 2;
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, etc.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = ContainerAttrs::default();
+        let mut has_default = false;
+        skip_attrs(&tokens, &mut i, &mut ignored, &mut has_default);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde shim: expected field name, got `{}`", tokens[i])
+        };
+        let name = name.to_string();
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field `{name}`, got `{other}`"),
+        }
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Vec<Field>)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = ContainerAttrs::default();
+        let mut ignored_default = false;
+        skip_attrs(&tokens, &mut i, &mut ignored, &mut ignored_default);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde shim: expected variant name, got `{}`", tokens[i])
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut fields = Vec::new();
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = parse_named_fields(g);
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("serde shim: tuple variant `{name}` is unsupported")
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut unused_default = false;
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i, &mut attrs, &mut unused_default);
+    skip_visibility(&tokens, &mut i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("serde shim: expected `struct` or `enum`, got `{}`", tokens[i])
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde shim: expected type name, got `{}`", tokens[i])
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(p.as_char() != '<', "serde shim: generic type `{name}` is unsupported");
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("serde shim: `{name}` has no braced body (tuple/unit types unsupported)")
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "serde shim: `{name}` must have named fields or variants"
+    );
+    let body = match kw.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body)),
+        "enum" => Body::Enum(parse_variants(body)),
+        other => panic!("serde shim: cannot derive for `{other}`"),
+    };
+    Input { name, attrs, body }
+}
+
+fn variant_wire_name(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut m: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Map(m)"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let wire = variant_wire_name(&input.attrs, vname);
+                if fields.is_empty() {
+                    if let Some(tag) = &input.attrs.tag {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => serde::Value::Map(vec![(\"{tag}\".to_string(), \
+                             serde::Value::Str(\"{wire}\".to_string()))]),\n"
+                        ));
+                    } else {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => serde::Value::Str(\"{wire}\".to_string()),\n"
+                        ));
+                    }
+                } else {
+                    let tag = input.attrs.tag.as_deref().unwrap_or_else(|| {
+                        panic!("serde shim: data-carrying enum `{name}` needs #[serde(tag = ...)]")
+                    });
+                    let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let mut pushes = String::new();
+                    for f in fields {
+                        pushes.push_str(&format!(
+                            "m.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n",
+                            n = f.name
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {pat} }} => {{\n\
+                         let mut m: Vec<(String, serde::Value)> = Vec::new();\n\
+                         m.push((\"{tag}\".to_string(), serde::Value::Str(\"{wire}\".to_string())));\n\
+                         {pushes}serde::Value::Map(m)\n}}\n",
+                        pat = pats.join(", ")
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_field_extract(fields: &[Field], type_name: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.has_default {
+            inits.push_str(&format!(
+                "{n}: match serde::map_get(m, \"{n}\") {{\n\
+                 Some(x) => serde::Deserialize::from_value(x)?,\n\
+                 None => Default::default(),\n}},\n"
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match serde::map_get(m, \"{n}\") {{\n\
+                 Some(x) => serde::Deserialize::from_value(x)?,\n\
+                 None => return Err(serde::DeError::missing(\"{n}\", \"{type_name}\")),\n}},\n"
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => {
+            let inits = gen_field_extract(fields, name);
+            format!(
+                "let m = v.as_map().ok_or_else(|| serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::Enum(variants) => {
+            if let Some(tag) = &input.attrs.tag {
+                let mut arms = String::new();
+                for (vname, fields) in variants {
+                    let wire = variant_wire_name(&input.attrs, vname);
+                    if fields.is_empty() {
+                        arms.push_str(&format!("\"{wire}\" => Ok({name}::{vname}),\n"));
+                    } else {
+                        let inits = gen_field_extract(fields, name);
+                        arms.push_str(&format!(
+                            "\"{wire}\" => Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+                format!(
+                    "let m = v.as_map().ok_or_else(|| serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                     let tag = serde::map_get(m, \"{tag}\")\n\
+                         .and_then(serde::Value::as_str)\n\
+                         .ok_or_else(|| serde::DeError::missing(\"{tag}\", \"{name}\"))?;\n\
+                     match tag {{\n{arms}\
+                     other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n}}"
+                )
+            } else {
+                let mut arms = String::new();
+                for (vname, fields) in variants {
+                    assert!(
+                        fields.is_empty(),
+                        "serde shim: data-carrying enum `{name}` needs #[serde(tag = ...)]"
+                    );
+                    let wire = variant_wire_name(&input.attrs, vname);
+                    arms.push_str(&format!("\"{wire}\" => Ok({name}::{vname}),\n"));
+                }
+                format!(
+                    "let s = v.as_str().ok_or_else(|| serde::DeError::expected(\"string\", \"{name}\"))?;\n\
+                     match s {{\n{arms}\
+                     other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde shim: generated Deserialize impl parses")
+}

@@ -16,6 +16,8 @@
 //! * [`calibrate`] — GP-emulator Bayesian calibration (Appendix E)
 //! * [`hpcsim`] — two-cluster HPC environment + WMP scheduling heuristics (§V)
 //! * [`analytics`] — aggregation, ensembles, forecast targets, cost model
+//! * [`orchestrator`] — fault-tolerant DAG workflow engine: retries,
+//!   write-ahead journal checkpoint/resume, deadline-aware degradation
 //! * [`core`] — the workflow layer tying everything together (§II, §IV)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -27,5 +29,6 @@ pub use epiflow_epihiper as epihiper;
 pub use epiflow_hpcsim as hpcsim;
 pub use epiflow_linalg as linalg;
 pub use epiflow_metapop as metapop;
+pub use epiflow_orchestrator as orchestrator;
 pub use epiflow_surveillance as surveillance;
 pub use epiflow_synthpop as synthpop;

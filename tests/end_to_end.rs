@@ -110,9 +110,7 @@ fn groundtruth_feeds_metapop_calibration() {
             },
             2,
         );
-        (0..counties.len())
-            .map(|c| out.new_cases.iter().map(|d| d[c] * 0.25).collect())
-            .collect()
+        (0..counties.len()).map(|c| out.new_cases.iter().map(|d| d[c] * 0.25).collect()).collect()
     };
     let observed = simulate(&[0.55]);
     let space = ParamSpace::new(&[("beta", 0.2, 0.9)]);
@@ -177,10 +175,7 @@ fn npi_dose_response_through_pipeline() {
     };
     let lax = run_with(0.05, 0.05);
     let strict = run_with(0.95, 0.95);
-    assert!(
-        strict < lax,
-        "strict NPIs must reduce cases: strict {strict} vs lax {lax}"
-    );
+    assert!(strict < lax, "strict NPIs must reduce cases: strict {strict} vs lax {lax}");
 }
 
 /// The COVID model's severity pipeline survives aggregation: deaths
@@ -199,12 +194,8 @@ fn severity_pipeline_consistency() {
     };
     let run = run_cell(&data, &cell, 0, 4, true, 5);
     let deaths: u64 = run.output.daily_new(states::DEATH).iter().map(|&x| x as u64).sum();
-    let death_path_entries: u64 = run
-        .output
-        .daily_new(states::ATTENDED_D)
-        .iter()
-        .map(|&x| x as u64)
-        .sum();
+    let death_path_entries: u64 =
+        run.output.daily_new(states::ATTENDED_D).iter().map(|&x| x as u64).sum();
     // Everyone who dies entered the death path (AttendedD) first.
     assert!(deaths <= death_path_entries, "deaths {deaths} vs path entries {death_path_entries}");
     // Hospitalization targets consistent with the cost model's inputs.

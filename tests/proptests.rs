@@ -2,12 +2,14 @@
 
 use epiflow::epihiper::engine::CounterRng;
 use epiflow::epihiper::partition::partition_network;
+use epiflow::hpcsim::cluster::Site;
 use epiflow::hpcsim::coloring::{
     greedy_relaxed_coloring, validate_relaxed_coloring, ConflictGraph,
 };
 use epiflow::hpcsim::schedule::{pack, PackAlgo};
 use epiflow::hpcsim::task::Task;
 use epiflow::linalg::{cholesky, Mat};
+use epiflow::orchestrator::{CycleEnv, Dag, Engine, EngineEvent, RetryPolicy, StepKind, StepSpec};
 use epiflow::surveillance::CaseSeries;
 use epiflow::synthpop::ipf::{integerize, ipf};
 use epiflow::synthpop::network::ContactEdge;
@@ -42,8 +44,107 @@ fn make_network(n: u32, pairs: &[(u32, u32)]) -> ContactNetwork {
     ContactNetwork { n_nodes: n as usize, edges }
 }
 
+/// A random workflow DAG of flaky steps: `(secs, fail_attempts,
+/// wasted_secs, max_retries, dep_picks)` per step, with each dep pick
+/// reduced modulo the step index (edges always point backwards).
+type FlakySpec = (f64, u32, f64, u32, Vec<u64>);
+
+fn build_flaky_dag(specs: &[FlakySpec]) -> Dag {
+    let mut dag = Dag::default();
+    for (i, (secs, fails, wasted, retries, picks)) in specs.iter().enumerate() {
+        let mut deps: Vec<usize> =
+            if i == 0 { Vec::new() } else { picks.iter().map(|&p| (p as usize) % i).collect() };
+        deps.sort_unstable();
+        deps.dedup();
+        dag.add(StepSpec {
+            name: format!("s{i}"),
+            site: Site::Remote,
+            automated: true,
+            kind: StepKind::Flaky { secs: *secs, fail_attempts: *fails, wasted_secs: *wasted },
+            deps,
+            retry: RetryPolicy::retries(*retries, 1.0),
+        });
+    }
+    dag
+}
+
+fn arb_flaky_specs() -> impl Strategy<Value = Vec<FlakySpec>> {
+    prop::collection::vec(
+        (1.0f64..100.0, 0u32..4, 0.5f64..20.0, 0u32..5, prop::collection::vec(any::<u64>(), 0..3)),
+        1..16,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No step starts before all its dependencies complete.
+    #[test]
+    fn engine_steps_wait_for_deps(specs in arb_flaky_specs()) {
+        let dag = build_flaky_dag(&specs);
+        let result = Engine::new(dag.clone(), CycleEnv::synthetic()).run();
+        let mut ends = std::collections::HashMap::new();
+        for e in &result.journal.entries {
+            ends.insert(e.step, e.event.start_secs + e.event.duration_secs);
+        }
+        for e in &result.journal.entries {
+            for &d in &dag.steps[e.step].deps {
+                let dep_end = ends.get(&d).expect("a completed step's deps all completed");
+                prop_assert!(
+                    e.event.start_secs >= dep_end - 1e-9,
+                    "step {} started at {} before dep {} ended at {}",
+                    e.step, e.event.start_secs, d, dep_end
+                );
+            }
+        }
+    }
+
+    /// Retry counts never exceed the policy bound, and a step completes
+    /// exactly when its failures fit inside the bound (deps permitting).
+    #[test]
+    fn engine_retries_respect_policy(specs in arb_flaky_specs()) {
+        let dag = build_flaky_dag(&specs);
+        let result = Engine::new(dag.clone(), CycleEnv::synthetic()).run();
+        let mut failed_attempts = vec![0u32; dag.len()];
+        for e in &result.events {
+            if let EngineEvent::AttemptFailed { step, .. } = e {
+                failed_attempts[*step] += 1;
+            }
+        }
+        let completed: std::collections::HashSet<usize> =
+            result.journal.entries.iter().map(|e| e.step).collect();
+        for (i, spec) in dag.steps.iter().enumerate() {
+            prop_assert!(failed_attempts[i] <= spec.retry.max_attempts());
+            let StepKind::Flaky { fail_attempts, .. } = spec.kind else { unreachable!() };
+            let deps_ok = spec.deps.iter().all(|d| completed.contains(d));
+            let should_complete = deps_ok && fail_attempts < spec.retry.max_attempts();
+            prop_assert_eq!(completed.contains(&i), should_complete, "step {}", i);
+        }
+        for e in &result.journal.entries {
+            prop_assert!(e.attempts <= dag.steps[e.step].retry.max_attempts());
+        }
+    }
+
+    /// Resuming from ANY journal prefix reproduces the uninterrupted
+    /// run's report and journal exactly, without redoing finished steps.
+    #[test]
+    fn engine_resume_any_prefix_identical(specs in arb_flaky_specs()) {
+        let dag = build_flaky_dag(&specs);
+        let engine = Engine::new(dag, CycleEnv::synthetic());
+        let full = engine.run();
+        for k in 0..=full.journal.entries.len() {
+            let prefix = full.journal.prefix(k);
+            let resumed = engine.resume(&prefix);
+            prop_assert_eq!(&resumed.report, &full.report, "prefix {}", k);
+            prop_assert_eq!(&resumed.journal, &full.journal, "prefix {}", k);
+            for s in &resumed.live_steps {
+                prop_assert!(
+                    !prefix.entries.iter().any(|e| e.step == *s),
+                    "journaled step {} was re-executed on resume", s
+                );
+            }
+        }
+    }
 
     /// The partitioner covers all nodes exactly once, never exceeds the
     /// requested partition count, and preserves every in-edge.

@@ -1,8 +1,8 @@
 //! Integration tests for the HPC workflow layer: scheduling, the
 //! two-cluster combined workflow, and the Table-I/II arithmetic.
 
-use epiflow::core::{CombinedWorkflow, FactorialDesign, StudyDesign};
 use epiflow::core::design::CellConfig;
+use epiflow::core::{CombinedWorkflow, FactorialDesign, StudyDesign};
 use epiflow::hpcsim::schedule::{pack, pack_arrival, PackAlgo};
 use epiflow::hpcsim::slurm::SlurmSim;
 use epiflow::hpcsim::task::WorkloadSpec;
@@ -18,11 +18,7 @@ fn nightly_prediction_fits_the_window() {
     let report = CombinedWorkflow::default().run(&reg, Scale::default());
     assert_eq!(report.n_tasks, 9180);
     assert!(report.within_window, "nightly workload must fit the window");
-    assert!(
-        report.slurm.utilization > 0.85,
-        "deployed utilization {}",
-        report.slurm.utilization
-    );
+    assert!(report.slurm.utilization > 0.85, "deployed utilization {}", report.slurm.utilization);
 }
 
 /// The calibration workload (15,300 sims) also ran nightly.
@@ -54,15 +50,10 @@ fn deployed_schedule_beats_initial_on_national_workload() {
 
     let deployed = pack(&tasks, machine, bound, PackAlgo::FfdtDc);
     deployed.validate(&tasks, bound).unwrap();
-    let order: Vec<usize> =
-        deployed.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+    let order: Vec<usize> = deployed.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
     let deployed_stats = SlurmSim::new(ClusterSpec::bridges()).run(&tasks, &order, bound);
 
-    assert!(
-        deployed_stats.utilization > 0.9,
-        "deployed {}",
-        deployed_stats.utilization
-    );
+    assert!(deployed_stats.utilization > 0.9, "deployed {}", deployed_stats.utilization);
     assert!(
         deployed_stats.utilization - initial_stats.utilization > 0.3,
         "gap: {} vs {}",
@@ -120,16 +111,9 @@ fn remote_steps_fit_nightly_window() {
     use epiflow::hpcsim::Site;
     let reg = RegionRegistry::new();
     let report = CombinedWorkflow::default().run(&reg, Scale::default());
-    let remote_secs: f64 = report
-        .timeline
-        .iter()
-        .filter(|e| e.site == Site::Remote)
-        .map(|e| e.duration_secs)
-        .sum();
-    assert!(
-        remote_secs <= 10.0 * 3600.0,
-        "remote work {remote_secs} s exceeds the 10 h window"
-    );
+    let remote_secs: f64 =
+        report.timeline.iter().filter(|e| e.site == Site::Remote).map(|e| e.duration_secs).sum();
+    assert!(remote_secs <= 10.0 * 3600.0, "remote work {remote_secs} s exceeds the 10 h window");
 }
 
 /// Workload runtime heterogeneity matches Fig. 8: the slowest region's
