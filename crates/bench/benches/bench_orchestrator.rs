@@ -12,7 +12,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use epiflow_core::CombinedWorkflow;
 use epiflow_hpcsim::slurm::NodeFailure;
-use epiflow_orchestrator::{DeadlinePolicy, Engine, FaultPlan, LinkFaults};
+use epiflow_hpcsim::task::WorkloadSpec;
+use epiflow_orchestrator::{
+    CampaignSpec, DeadlinePolicy, Engine, FailoverPolicy, FaultPlan, LinkFaults, NightlySpec,
+};
 use epiflow_surveillance::{RegionRegistry, Scale};
 use std::hint::black_box;
 
@@ -32,10 +35,31 @@ fn faulty_engine() -> Engine {
             db_keep_fraction: 0.5,
             straggler_prob: 0.02,
             straggler_factor: 3.0,
+            ..FaultPlan::default()
         },
         deadline: DeadlinePolicy { shed_cells: true },
         ..Default::default()
     };
+    wf.engine(&reg, Scale::default())
+}
+
+fn failover_engine() -> Engine {
+    let reg = RegionRegistry::new();
+    let mut wf = CombinedWorkflow {
+        faults: FaultPlan {
+            seed: 0xC0FFEE,
+            // Total remote loss 2 h into the window: the whole night
+            // re-plans onto the home cluster.
+            node_failures: vec![NodeFailure { at_secs: 2.0 * 3600.0, nodes: 720 }],
+            ..FaultPlan::default()
+        },
+        deadline: DeadlinePolicy { shed_cells: true },
+        failover: FailoverPolicy::on(),
+        ..Default::default()
+    };
+    // The 50-node home cluster cannot absorb the full 9180-task night;
+    // bench the failover path on the workload it can carry.
+    wf.workload = WorkloadSpec { cells: 2, replicates: 2, ..WorkloadSpec::prediction() };
     wf.engine(&reg, Scale::default())
 }
 
@@ -53,6 +77,11 @@ fn bench_nightly_dag(c: &mut Criterion) {
         b.iter(|| black_box(engine.run().report.cycle_secs))
     });
 
+    let failover = failover_engine();
+    group.bench_with_input(BenchmarkId::new("run", "failover"), &failover, |b, engine| {
+        b.iter(|| black_box(engine.run().report.cycle_secs))
+    });
+
     // Checkpoint-resume from a mid-cycle journal: the replayed prefix
     // must cost (almost) nothing compared to re-executing it.
     let journal = quiet.run().journal;
@@ -64,5 +93,33 @@ fn bench_nightly_dag(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nightly_dag);
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator_campaign");
+    group.sample_size(10);
+
+    // A 3-intensity × 4-night sweep of the 204-task night with failover
+    // on — the rayon fan-out path the chaos harness uses.
+    let reg = RegionRegistry::new();
+    let wf = CombinedWorkflow {
+        workload: WorkloadSpec { cells: 2, replicates: 2, ..WorkloadSpec::prediction() },
+        ..Default::default()
+    };
+    let engine = wf.engine(&reg, Scale::default());
+    let spec = CampaignSpec {
+        nightly: NightlySpec { failover: FailoverPolicy::on(), ..NightlySpec::default() },
+        tasks: engine.env.tasks.clone(),
+        region_rows: engine.env.region_rows.clone(),
+        deadline: DeadlinePolicy { shed_cells: true },
+        intensities: vec![0.0, 0.5, 1.0],
+        nights_per_intensity: 4,
+        base_seed: 99,
+    };
+    group.bench_with_input(BenchmarkId::new("run", "3x4-nights"), &spec, |b, spec| {
+        b.iter(|| black_box(spec.run().per_intensity.len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_nightly_dag, bench_campaign);
 criterion_main!(benches);

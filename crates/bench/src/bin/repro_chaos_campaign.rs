@@ -1,0 +1,112 @@
+//! Chaos-campaign reproduction — cross-cluster failover under fire.
+//!
+//! Three exhibits:
+//!
+//! 1. A total remote-cluster loss one minute into the execute step,
+//!    run through the classic engine (which can only shed cells) and
+//!    the failover engine (which re-plans the night onto the home
+//!    cluster at its slower contended rate and delivers every cell).
+//! 2. A kill/resume check: the failover night is resumed from every
+//!    persisted journal prefix and must reproduce the uninterrupted
+//!    report byte for byte.
+//! 3. A fault-intensity sweep: many seeded nights per intensity in
+//!    parallel, reporting within-window success rates and the
+//!    failover / hedge / re-route / shed counters per intensity.
+
+use epiflow_core::CombinedWorkflow;
+use epiflow_hpcsim::slurm::NodeFailure;
+use epiflow_hpcsim::task::WorkloadSpec;
+use epiflow_orchestrator::{
+    timeline_text, CampaignSpec, DeadlinePolicy, FailoverPolicy, FaultPlan, Journal, NightlySpec,
+    RunResult,
+};
+use epiflow_surveillance::{RegionRegistry, Scale};
+
+fn remote_kill_workflow(failover: bool) -> CombinedWorkflow {
+    CombinedWorkflow {
+        workload: WorkloadSpec { cells: 2, replicates: 2, ..WorkloadSpec::prediction() },
+        faults: FaultPlan {
+            seed: 42,
+            node_failures: vec![NodeFailure { at_secs: 60.0, nodes: 720 }],
+            ..FaultPlan::default()
+        },
+        deadline: DeadlinePolicy { shed_cells: true },
+        failover: if failover { FailoverPolicy::on() } else { FailoverPolicy::default() },
+        ..Default::default()
+    }
+}
+
+fn show(name: &str, run: &RunResult) {
+    let c = run.report.counters();
+    println!(
+        "  {name:<18} within-window: {:<5}  shed cells: {:<2}  failovers: {}  hedges: {}  \
+         re-routes: {}  retries: {}  cycle: {:.1} h",
+        run.report.within_window,
+        c.shed_cells,
+        c.failovers,
+        c.hedges,
+        c.reroutes,
+        c.retries,
+        run.report.cycle_secs / 3600.0,
+    );
+}
+
+fn main() {
+    let reg = RegionRegistry::new();
+    let scale = Scale::default();
+
+    println!("=== Exhibit 1: total remote loss at t+60 s, 204-task night ===\n");
+    let classic = remote_kill_workflow(false).engine(&reg, scale).run();
+    let failover = remote_kill_workflow(true).engine(&reg, scale).run();
+    show("classic engine", &classic);
+    show("failover engine", &failover);
+    println!("\n  failover night timeline:\n");
+    print!("{}", timeline_text(&failover.report.timeline));
+    println!(
+        "\n  re-planned steps: {:?}\n  event stream (JSONL, resilience lines):\n",
+        failover.report.failover_steps
+    );
+    for line in failover.events_jsonl().lines() {
+        if line.contains("failed_over") || line.contains("breaker") || line.contains("counters") {
+            println!("    {line}");
+        }
+    }
+
+    println!("\n=== Exhibit 2: kill/resume mid-failover ===\n");
+    let engine = remote_kill_workflow(true).engine(&reg, scale);
+    let full = engine.run();
+    let full_json = serde_json::to_string(&full.report).unwrap();
+    let mut all_identical = true;
+    for k in 0..=full.journal.entries.len() {
+        let (recovered, _) = Journal::recover_jsonl(&full.journal.prefix(k).to_jsonl()).unwrap();
+        let resumed = engine.resume(&recovered);
+        let identical = serde_json::to_string(&resumed.report).unwrap() == full_json;
+        all_identical &= identical;
+        println!(
+            "  resume after {k}/7 steps: {} live steps, report byte-identical: {identical}",
+            resumed.live_steps.len()
+        );
+    }
+    assert!(all_identical, "resume must be byte-identical for every prefix");
+
+    println!("\n=== Exhibit 3: chaos campaign, 16 nights per intensity ===\n");
+    let spec = CampaignSpec {
+        nightly: NightlySpec { failover: FailoverPolicy::on(), ..NightlySpec::default() },
+        tasks: engine.env.tasks.clone(),
+        region_rows: engine.env.region_rows.clone(),
+        deadline: DeadlinePolicy { shed_cells: true },
+        intensities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        nights_per_intensity: 16,
+        base_seed: 2021,
+    };
+    let report = spec.run();
+    print!("{}", report.table_text());
+    println!(
+        "\n  shed distribution per intensity (cells shed in a night × nights): {:?}",
+        report.per_intensity.iter().map(|i| &i.shed_distribution).collect::<Vec<_>>()
+    );
+    println!(
+        "\n(the same campaign re-run is bit-identical for the fixed seed: {})",
+        report == spec.run()
+    );
+}

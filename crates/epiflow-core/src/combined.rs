@@ -24,8 +24,8 @@ use epiflow_hpcsim::schedule::PackAlgo;
 use epiflow_hpcsim::slurm::SlurmStats;
 use epiflow_hpcsim::task::{Task, WorkloadSpec};
 use epiflow_orchestrator::{
-    nightly_engine, DeadlinePolicy, DroppedCell, Engine, FaultPlan, NightlySpec, RetryPolicy,
-    RunResult,
+    nightly_engine, BreakerConfig, DeadlinePolicy, DroppedCell, Engine, FailoverPolicy, FaultPlan,
+    NightlySpec, RetryPolicy, RunResult,
 };
 use epiflow_surveillance::{RegionRegistry, Scale};
 
@@ -51,6 +51,12 @@ pub struct CombinedWorkflow {
     pub deadline: DeadlinePolicy,
     /// Retry policy for the Globus transfers.
     pub transfer_retry: RetryPolicy,
+    /// Cross-cluster failover, re-routing, and hedging (default: off —
+    /// the classic engine).
+    pub failover: FailoverPolicy,
+    /// Circuit-breaker tuning for the link / remote-cluster / database
+    /// breakers (only consulted when `failover.enabled`).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for CombinedWorkflow {
@@ -72,6 +78,8 @@ impl Default for CombinedWorkflow {
             faults: FaultPlan::default(),
             deadline: DeadlinePolicy::default(),
             transfer_retry: spec.transfer_retry,
+            failover: FailoverPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -99,6 +107,12 @@ pub struct CombinedReport {
     pub total_retries: u32,
     /// Steps that exhausted their retry policy (empty on a good night).
     pub failed_steps: Vec<String>,
+    /// Steps re-planned onto the other cluster by the failover policy.
+    pub failover_steps: Vec<String>,
+    /// Speculative duplicate attempts the hedge policy launched.
+    pub hedges: u32,
+    /// Calls re-routed to alternate resources by open breakers.
+    pub reroutes: u32,
 }
 
 impl CombinedWorkflow {
@@ -122,12 +136,16 @@ impl CombinedWorkflow {
         let spec = NightlySpec {
             link: self.link.clone(),
             remote: self.remote.clone(),
+            home: self.home.clone(),
             algo: self.algo,
             db_max_connections: self.db_max_connections,
             conns_per_task: self.workload.db_connections_per_task,
             config_gen_secs: self.config_gen_secs,
             analysis_secs: self.analysis_secs,
             transfer_retry: self.transfer_retry,
+            failover: self.failover,
+            breaker: self.breaker,
+            ..NightlySpec::default()
         };
         nightly_engine(&spec, tasks, region_rows, self.faults.clone(), self.deadline)
     }
@@ -166,6 +184,9 @@ impl CombinedReport {
             dropped_cells: report.dropped_cells,
             total_retries: report.total_retries,
             failed_steps: report.failed_steps,
+            failover_steps: report.failover_steps,
+            hedges: report.hedges,
+            reroutes: report.reroutes,
         }
     }
 

@@ -26,6 +26,11 @@ pub struct ClusterSpec {
     /// `None` = always available. The remote cluster is dedicated to the
     /// workflows from 10 pm to 8 am.
     pub window: Option<(u32, u32)>,
+    /// Queue-contention multiplier on effective task runtimes: 1.0 for a
+    /// dedicated reservation (the nightly Bridges window), above 1.0 for
+    /// a shared general-purpose queue where jobs co-schedule with other
+    /// users' work.
+    pub contention: f64,
 }
 
 impl ClusterSpec {
@@ -40,6 +45,7 @@ impl ClusterSpec {
             ram_gb_per_node: 128,
             // 22:00 .. 08:00 (wraps midnight).
             window: Some((22 * 3600, 8 * 3600)),
+            contention: 1.0, // dedicated to the workflows inside the window
         }
     }
 
@@ -53,6 +59,7 @@ impl ClusterSpec {
             cores_per_cpu: 20,
             ram_gb_per_node: 384,
             window: None,
+            contention: 1.6, // shared institutional queue, no reservation
         }
     }
 
@@ -78,6 +85,17 @@ impl ClusterSpec {
                 }
             }
         }
+    }
+
+    /// Runtime multiplier for a task calibrated against `reference`
+    /// when re-planned onto this cluster: relative per-node core count
+    /// (whole-node allocation, so a node-sized rank gets this cluster's
+    /// cores) times this cluster's queue contention. This is the
+    /// failover cost model — Bridges → Rivanna comes out above 1.0
+    /// because the shared home queue more than cancels Rivanna's extra
+    /// cores per node.
+    pub fn failover_slowdown(&self, reference: &ClusterSpec) -> f64 {
+        self.contention * reference.cores_per_node() as f64 / self.cores_per_node() as f64
     }
 
     /// Is the cluster available at a given second-of-day?
@@ -129,6 +147,18 @@ mod tests {
         assert!(!b.available_at(12 * 3600)); // noon
         assert!(!b.available_at(21 * 3600 + 3599)); // 9:59:59 pm
         assert!(b.available_at(22 * 3600)); // 10 pm sharp
+    }
+
+    #[test]
+    fn failover_slowdown_home_is_slower() {
+        let remote = ClusterSpec::bridges();
+        let home = ClusterSpec::rivanna();
+        let s = home.failover_slowdown(&remote);
+        // 1.6 contention × 28/40 relative cores = 1.12.
+        assert!((s - 1.12).abs() < 1e-9, "slowdown {s}");
+        assert!(s > 1.0, "failover must cost runtime, not gain it");
+        // A dedicated cluster failing over to itself costs nothing.
+        assert_eq!(remote.failover_slowdown(&remote), 1.0);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct PopulationDb {
     pub rows: u64,
     /// Whether the exhaustion fault hook has fired.
     exhausted: bool,
+    /// Whether this is a cold-standby replica (see
+    /// [`PopulationDb::standby`]).
+    standby: bool,
 }
 
 /// Error returned when the connection bound would be exceeded.
@@ -58,7 +61,22 @@ impl PopulationDb {
             refused: 0,
             rows,
             exhausted: false,
+            standby: false,
         }
+    }
+
+    /// A cold-standby replica for the region: a fresh server restored
+    /// on the alternate resource when the primary's circuit breaker is
+    /// open. It starts with its full connection bound (no leaked
+    /// connections — nothing has ever run against it), so the fault
+    /// hooks that degraded the primary do not apply.
+    pub fn standby(region: RegionId, rows: u64, max_connections: usize) -> Self {
+        PopulationDb { standby: true, ..PopulationDb::new(region, rows, max_connections) }
+    }
+
+    /// Whether this database is a cold-standby replica.
+    pub fn is_standby(&self) -> bool {
+        self.standby
     }
 
     /// Fault hook: connection exhaustion (leaked connections from
@@ -188,6 +206,18 @@ mod tests {
     fn release_imbalance_panics() {
         let mut db = PopulationDb::new(0, 100, 2);
         db.release();
+    }
+
+    #[test]
+    fn standby_replica_starts_clean() {
+        let mut primary = PopulationDb::new(2, 100, 8);
+        primary.exhaust(0.25);
+        let standby = PopulationDb::standby(2, 100, 8);
+        assert!(standby.is_standby());
+        assert!(!standby.exhausted());
+        assert_eq!(standby.max_connections, 8, "standby keeps the full bound");
+        assert!(standby.max_connections > primary.max_connections);
+        assert_eq!(standby.startup_secs(true), primary.startup_secs(true));
     }
 
     #[test]

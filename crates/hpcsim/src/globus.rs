@@ -66,20 +66,26 @@ impl GlobusLink {
 }
 
 /// Seeded fault model for a link: each transfer attempt independently
-/// drops mid-flight with probability `fail_prob`. Outcomes are a pure
-/// function of `(seed, label, attempt)` — no stream state — so a
-/// workflow resumed from a journal replays exactly the outcomes the
-/// interrupted run saw.
+/// drops mid-flight with probability `fail_prob`, and each completing
+/// attempt independently straggles (congestion, checksum retransmits)
+/// with probability `slow_prob`, stretching to `slow_factor ×` its
+/// nominal duration. Outcomes are a pure function of `(seed, label,
+/// attempt)` — no stream state — so a workflow resumed from a journal
+/// replays exactly the outcomes the interrupted run saw.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LinkFaults {
     /// Per-attempt probability of a mid-flight drop.
     pub fail_prob: f64,
     pub seed: u64,
+    /// Per-attempt probability a completing transfer straggles.
+    pub slow_prob: f64,
+    /// Duration multiplier for straggling transfers.
+    pub slow_factor: f64,
 }
 
 impl Default for LinkFaults {
     fn default() -> Self {
-        LinkFaults { fail_prob: 0.0, seed: 0 }
+        LinkFaults { fail_prob: 0.0, seed: 0, slow_prob: 0.0, slow_factor: 1.0 }
     }
 }
 
@@ -103,12 +109,30 @@ fn unit(z: u64) -> f64 {
 
 impl LinkFaults {
     pub fn new(fail_prob: f64, seed: u64) -> Self {
-        LinkFaults { fail_prob, seed }
+        LinkFaults { fail_prob, seed, ..LinkFaults::default() }
+    }
+
+    /// Add a straggling-transfer mode: probability `slow_prob` of a
+    /// completing attempt taking `slow_factor ×` its nominal time.
+    pub fn with_slowdown(self, slow_prob: f64, slow_factor: f64) -> Self {
+        LinkFaults { slow_prob, slow_factor, ..self }
     }
 
     /// Does attempt `attempt` of the transfer named `label` drop?
     pub fn attempt_fails(&self, label: &str, attempt: u32) -> bool {
         self.fail_prob > 0.0 && unit(mix(self.seed, label, attempt)) < self.fail_prob
+    }
+
+    /// Duration multiplier for attempt `attempt` of the transfer named
+    /// `label` (1.0 unless the straggle draw fires).
+    pub fn slowdown(&self, label: &str, attempt: u32) -> f64 {
+        if self.slow_prob > 0.0
+            && unit(mix(self.seed ^ 0x5851_F42D_4C95_7F2D, label, attempt)) < self.slow_prob
+        {
+            self.slow_factor
+        } else {
+            1.0
+        }
     }
 
     /// Fraction of the payload moved before the drop, in [0.05, 0.95]
@@ -121,10 +145,11 @@ impl LinkFaults {
 
 impl GlobusLink {
     /// One transfer attempt under a fault model: `Ok(duration_secs)` if
-    /// it completes, `Err(wasted_secs)` if it drops partway through
-    /// (handshake overhead plus the partial stream time is lost — Globus
-    /// restarts failed transfers from checkpoint boundaries, modeled
-    /// here as a full restart).
+    /// it completes (possibly stretched by a straggle draw),
+    /// `Err(wasted_secs)` if it drops partway through (handshake
+    /// overhead plus the partial stream time is lost — Globus restarts
+    /// failed transfers from checkpoint boundaries, modeled here as a
+    /// full restart).
     pub fn attempt(
         &self,
         faults: &LinkFaults,
@@ -137,7 +162,7 @@ impl GlobusLink {
             let stream = full - self.overhead_secs;
             Err(self.overhead_secs + stream * faults.failure_fraction(label, attempt))
         } else {
-            Ok(full)
+            Ok(full * faults.slowdown(label, attempt))
         }
     }
 }
@@ -242,6 +267,26 @@ mod tests {
             assert!(wasted > link.overhead_secs, "a drop still costs the handshake");
             assert!(wasted < full, "a drop costs less than completing");
         }
+    }
+
+    #[test]
+    fn straggle_draw_stretches_but_never_fails() {
+        let link = GlobusLink::default();
+        let faults = LinkFaults::new(0.0, 3).with_slowdown(0.5, 8.0);
+        let bytes = 1_000_000_000u64;
+        let full = link.duration_secs(bytes);
+        let durations: Vec<f64> =
+            (0..64).map(|a| link.attempt(&faults, "configs", a, bytes).unwrap()).collect();
+        let replay: Vec<f64> =
+            (0..64).map(|a| link.attempt(&faults, "configs", a, bytes).unwrap()).collect();
+        assert_eq!(durations, replay, "pure function of (seed, label, attempt)");
+        assert!(durations.iter().any(|&d| (d - full).abs() < 1e-9), "some attempts run nominal");
+        assert!(durations.iter().any(|&d| (d - 8.0 * full).abs() < 1e-9), "some straggle 8×");
+        // Straggle and drop draws are decorrelated.
+        let both = LinkFaults::new(0.5, 3).with_slowdown(0.5, 8.0);
+        let slow: Vec<bool> = (0..64).map(|a| both.slowdown("x", a) > 1.0).collect();
+        let fail: Vec<bool> = (0..64).map(|a| both.attempt_fails("x", a)).collect();
+        assert_ne!(slow, fail);
     }
 
     #[test]

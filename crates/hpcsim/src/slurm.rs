@@ -40,6 +40,20 @@ pub struct SlurmStats {
     pub lost_node_secs: f64,
 }
 
+impl SlurmStats {
+    /// Did every submitted task finish inside the window?
+    pub fn finished_all(&self) -> bool {
+        self.unstarted == 0
+    }
+
+    /// Health signal for the cluster's circuit breaker: the run counts
+    /// as a failure once it lost work to preemption or left tasks
+    /// unstarted.
+    pub fn healthy(&self) -> bool {
+        self.finished_all() && self.preempted == 0
+    }
+}
+
 /// A fault-injection event: `nodes` compute nodes drop out of the
 /// machine at `at_secs` (counted from window open) and never return
 /// during the window — the paper's mid-level node-loss scenario. Jobs

@@ -9,6 +9,7 @@
 //! and fault plan, so two runs — or a run and its journal-resumed
 //! continuation — produce identical reports.
 
+use crate::breaker::{BreakerConfig, BreakerSet, BreakerState, Resource, ResourceCall};
 use crate::faults::{fault_unit, FaultPlan};
 use crate::journal::{Journal, JournalEntry, StepEffect};
 use crate::step::{BytesSpec, Dag, StepId, StepKind, StepSpec};
@@ -70,11 +71,71 @@ pub struct DeadlinePolicy {
     pub shed_cells: bool,
 }
 
+/// Hedged-execution policy for transfer and database-restore steps:
+/// when an attempt is observed running past `latency_factor ×` its
+/// quiet-path expected duration, a speculative duplicate is launched on
+/// the alternate resource (the fallback link, a standby replica) and
+/// the step completes at whichever finishes first.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HedgePolicy {
+    /// Multiple of the quiet expected duration at which the hedge
+    /// fires (a cheap stand-in for the p99-latency triggers used by
+    /// production hedged-request schemes).
+    pub latency_factor: f64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy { latency_factor: 3.0 }
+    }
+}
+
+/// Cross-cluster failover policy. Disabled (the default) reproduces the
+/// classic engine exactly — every code path that consults breakers,
+/// re-plans steps, or hedges is gated on `enabled`, so reports and
+/// journals with the policy off are byte-identical to the pre-failover
+/// engine's.
+///
+/// Enabled, the engine degrades by *relocating* instead of shedding:
+/// - an execute step that cannot finish inside the remote window (node
+///   failures, or the remote breaker already open) is re-planned onto
+///   the home cluster at `home_slowdown ×` task runtimes, and its
+///   downstream collect/transfer steps follow it there;
+/// - transfer and restore calls against a resource whose breaker is
+///   open are re-routed to the fallback link / standby replicas;
+/// - slow attempts are hedged per [`HedgePolicy`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailoverPolicy {
+    pub enabled: bool,
+    /// Task-runtime multiplier on the home cluster. `None` derives it
+    /// from the cluster specs via
+    /// [`ClusterSpec::failover_slowdown`].
+    pub home_slowdown: Option<f64>,
+    /// Hedged execution for transfer/restore steps; `None` disables
+    /// hedging.
+    pub hedge: Option<HedgePolicy>,
+}
+
+impl FailoverPolicy {
+    /// Failover on, slowdown derived from the cluster specs, hedging at
+    /// the default latency factor.
+    pub fn on() -> Self {
+        FailoverPolicy { enabled: true, home_slowdown: None, hedge: Some(HedgePolicy::default()) }
+    }
+}
+
 /// Execution environment the typed steps run against.
 #[derive(Clone, Debug)]
 pub struct CycleEnv {
     pub link: GlobusLink,
     pub remote: ClusterSpec,
+    /// The home cluster — failover target for execute steps.
+    pub home: ClusterSpec,
+    /// Slower secondary path between the sites (a commodity route used
+    /// when the primary link's breaker is open, and as the hedge
+    /// target). Assumed fault-free: the injected link faults model the
+    /// primary research-network path.
+    pub fallback_link: GlobusLink,
     pub algo: PackAlgo,
     /// Per-region database connection bound B(r).
     pub db_max_connections: usize,
@@ -92,6 +153,8 @@ impl CycleEnv {
         CycleEnv {
             link: GlobusLink::default(),
             remote: ClusterSpec::bridges(),
+            home: ClusterSpec::rivanna(),
+            fallback_link: GlobusLink { bandwidth_bps: 50e6, overhead_secs: 60.0 },
             algo: PackAlgo::FfdtDc,
             db_max_connections: 64,
             conns_per_task: 4,
@@ -102,8 +165,10 @@ impl CycleEnv {
 }
 
 /// Observability stream: everything the engine does, in order. The
-/// timeline and journal are both derived from these.
-#[derive(Clone, Debug, PartialEq)]
+/// timeline and journal are both derived from these. Serializes to one
+/// JSON object per event (see [`RunResult::events_jsonl`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
 pub enum EngineEvent {
     StepStarted {
         step: StepId,
@@ -136,6 +201,35 @@ pub enum EngineEvent {
         step: StepId,
         dropped: Vec<DroppedCell>,
     },
+    /// A resource's circuit breaker changed state.
+    BreakerTransition {
+        resource: Resource,
+        at_secs: f64,
+        from: BreakerState,
+        to: BreakerState,
+    },
+    /// A step was re-planned onto the other cluster.
+    FailedOver {
+        step: StepId,
+        from: Site,
+        to: Site,
+        at_secs: f64,
+    },
+    /// A call was sent to the alternate resource because the primary's
+    /// breaker was open.
+    Rerouted {
+        step: StepId,
+        resource: Resource,
+        at_secs: f64,
+    },
+    /// A speculative duplicate attempt was launched on the alternate
+    /// resource; `won` is whether it beat the primary.
+    HedgeFired {
+        step: StepId,
+        resource: Resource,
+        at_secs: f64,
+        won: bool,
+    },
 }
 
 /// Final report of one cycle.
@@ -157,6 +251,14 @@ pub struct CycleReport {
     pub blocked_steps: Vec<String>,
     /// Failed attempts across all steps (replayed ones included).
     pub total_retries: u32,
+    /// Steps the failover policy re-planned onto the other cluster, in
+    /// completion order (derived from the journal, so resumed runs
+    /// report identically).
+    pub failover_steps: Vec<String>,
+    /// Speculative duplicate attempts launched by the hedge policy.
+    pub hedges: u32,
+    /// Calls re-routed to alternate resources by open breakers.
+    pub reroutes: u32,
     /// Whether the remote-side work fit the nightly window (and no
     /// step failed outright).
     pub within_window: bool,
@@ -168,6 +270,32 @@ impl CycleReport {
     pub fn timeline_text(&self) -> String {
         timeline_text(&self.timeline)
     }
+
+    /// Resilience/robustness counters for the cycle, all derived from
+    /// journaled state (identical for a run and any of its resumes).
+    pub fn counters(&self) -> EventCounters {
+        EventCounters {
+            retries: self.total_retries,
+            preemptions: self.slurm.as_ref().map(|s| s.preempted).unwrap_or(0),
+            failovers: self.failover_steps.len() as u32,
+            hedges: self.hedges,
+            reroutes: self.reroutes,
+            shed_cells: self.dropped_cells.len() as u32,
+            failed_steps: self.failed_steps.len() as u32,
+        }
+    }
+}
+
+/// Summary counters appended to the JSONL event export.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventCounters {
+    pub retries: u32,
+    pub preemptions: usize,
+    pub failovers: u32,
+    pub hedges: u32,
+    pub reroutes: u32,
+    pub shed_cells: u32,
+    pub failed_steps: u32,
 }
 
 /// Outcome of [`Engine::run`] / [`Engine::resume`].
@@ -183,6 +311,27 @@ pub struct RunResult {
     pub live_steps: Vec<StepId>,
 }
 
+impl RunResult {
+    /// The event stream as JSON lines — one object per [`EngineEvent`]
+    /// tagged by `type`, closed by a `type: "counters"` summary record
+    /// (retries, preemptions, failovers, hedges, re-routes, shed
+    /// cells). This is the machine-readable observability feed a
+    /// monitoring stack would tail.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("event serializes infallibly"));
+            out.push('\n');
+        }
+        let counters =
+            serde_json::to_string(&self.report.counters()).expect("counters serialize infallibly");
+        // Splice the tag into the counters object so every line in the
+        // stream is dispatchable on "type".
+        out.push_str(&format!("{{\"type\":\"counters\",{}\n", &counters[1..]));
+        out
+    }
+}
+
 /// Mutable cycle state the step effects build up.
 #[derive(Default)]
 struct CycleState {
@@ -194,6 +343,9 @@ struct CycleState {
     raw_output_bytes: u64,
     summary_bytes: u64,
     dropped: Vec<DroppedCell>,
+    /// Site the execute step actually ran on; downstream collect and
+    /// transfer steps re-plan from this after a failover.
+    exec_site: Option<Site>,
 }
 
 /// One successful attempt.
@@ -205,20 +357,69 @@ struct AttemptOk {
     label: Option<String>,
 }
 
-/// The workflow engine: DAG + environment + fault plan + deadline
-/// policy.
+/// Per-step accumulator for the resilience layer: resource calls (for
+/// the journal and breaker replay), failover/hedge/reroute outcomes,
+/// and the events they raised — carried across the step's attempts.
+struct StepCtx {
+    step: StepId,
+    calls: Vec<ResourceCall>,
+    failover: Option<Site>,
+    hedges: u32,
+    reroutes: u32,
+    events: Vec<EngineEvent>,
+}
+
+impl StepCtx {
+    fn new(step: StepId) -> Self {
+        StepCtx {
+            step,
+            calls: Vec::new(),
+            failover: None,
+            hedges: 0,
+            reroutes: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record a call against a guarded resource: journal it, feed the
+    /// breaker, and surface any breaker transition as an event.
+    fn record_call(
+        &mut self,
+        breakers: &mut BreakerSet,
+        resource: Resource,
+        at_secs: f64,
+        success: bool,
+    ) {
+        self.calls.push(ResourceCall { resource, at_secs, success });
+        if let Some((from, to)) = breakers.get_mut(resource).record(at_secs, success) {
+            self.events.push(EngineEvent::BreakerTransition { resource, at_secs, from, to });
+        }
+    }
+}
+
+/// The workflow engine: DAG + environment + fault plan + deadline and
+/// failover policies.
 #[derive(Clone, Debug)]
 pub struct Engine {
     pub dag: Dag,
     pub env: CycleEnv,
     pub faults: FaultPlan,
     pub deadline: DeadlinePolicy,
+    pub failover: FailoverPolicy,
+    pub breaker: BreakerConfig,
 }
 
 impl Engine {
-    /// A quiet engine (no faults, no shedding) over a DAG.
+    /// A quiet engine (no faults, no shedding, no failover) over a DAG.
     pub fn new(dag: Dag, env: CycleEnv) -> Self {
-        Engine { dag, env, faults: FaultPlan::default(), deadline: DeadlinePolicy::default() }
+        Engine {
+            dag,
+            env,
+            faults: FaultPlan::default(),
+            deadline: DeadlinePolicy::default(),
+            failover: FailoverPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
     }
 
     /// Run the cycle from scratch.
@@ -232,6 +433,7 @@ impl Engine {
         let replayed: HashMap<StepId, &JournalEntry> =
             journal.entries.iter().map(|e| (e.step, e)).collect();
         let mut state = CycleState::default();
+        let mut breakers = BreakerSet::new(self.breaker);
         let mut events: Vec<EngineEvent> = Vec::new();
         let mut out = Journal::default();
         let mut live_steps: Vec<StepId> = Vec::new();
@@ -250,9 +452,12 @@ impl Engine {
                 spec.deps.iter().map(|&d| end_times[d].expect("dep end")).fold(0.0, f64::max);
 
             if let Some(entry) = replayed.get(&id) {
-                // Checkpoint replay: apply the recorded effect, skip
-                // execution entirely.
+                // Checkpoint replay: apply the recorded effect and feed
+                // the recorded resource calls to the breakers (so
+                // breaker state at the first live step matches the
+                // uninterrupted run), skipping execution entirely.
                 apply_effect(&entry.effect, &mut state);
+                breakers.replay(&entry.calls);
                 let end = entry.event.start_secs + entry.event.duration_secs;
                 end_times[id] = Some(end);
                 total_retries += entry.attempts.saturating_sub(1);
@@ -267,11 +472,21 @@ impl Engine {
                 name: spec.name.clone(),
                 at_secs: start,
             });
+            let mut ctx = StepCtx::new(id);
             let mut attempt = 0u32;
             let mut elapsed = 0.0f64;
             let mut wasted_total = 0.0f64;
             let outcome = loop {
-                match self.exec_attempt(spec, attempt, start + elapsed, &state) {
+                let res = self.exec_attempt(
+                    spec,
+                    attempt,
+                    start + elapsed,
+                    &state,
+                    &mut breakers,
+                    &mut ctx,
+                );
+                events.append(&mut ctx.events);
+                match res {
                     Ok(ok) => break Some((ok, attempt + 1)),
                     Err(wasted) => {
                         wasted_total += wasted;
@@ -316,7 +531,7 @@ impl Engine {
                     let duration = elapsed + ok.duration_secs;
                     let event = TimelineEvent {
                         label: ok.label.unwrap_or_else(|| spec.name.clone()),
-                        site: spec.site,
+                        site: ctx.failover.unwrap_or(spec.site),
                         start_secs: start,
                         duration_secs: duration,
                         automated: spec.automated,
@@ -329,6 +544,10 @@ impl Engine {
                         wasted_secs: wasted_total,
                         event,
                         effect: ok.effect,
+                        calls: ctx.calls,
+                        failover: ctx.failover,
+                        hedges: ctx.hedges,
+                        reroutes: ctx.reroutes,
                     });
                     events.push(EngineEvent::StepCompleted {
                         step: id,
@@ -354,6 +573,17 @@ impl Engine {
                 }
                 None => true,
             };
+        // Resilience tallies come from the journal, not the event
+        // stream, so a resumed run (whose replayed steps emit no
+        // failover/hedge events) reports identically to the full run.
+        let failover_steps: Vec<String> = out
+            .entries
+            .iter()
+            .filter(|e| e.failover.is_some())
+            .map(|e| self.dag.steps[e.step].name.clone())
+            .collect();
+        let hedges = out.entries.iter().map(|e| e.hedges).sum();
+        let reroutes = out.entries.iter().map(|e| e.reroutes).sum();
         RunResult {
             report: CycleReport {
                 timeline,
@@ -366,6 +596,9 @@ impl Engine {
                 failed_steps,
                 blocked_steps,
                 total_retries,
+                failover_steps,
+                hedges,
+                reroutes,
                 within_window,
                 cycle_secs,
             },
@@ -376,13 +609,18 @@ impl Engine {
     }
 
     /// Execute one attempt of a step. `Ok` carries the attempt duration
-    /// and effect; `Err` carries the wasted seconds.
+    /// and effect; `Err` carries the wasted seconds. With the failover
+    /// policy disabled this is exactly the classic engine; enabled, the
+    /// transfer / restore / execute kinds route through the
+    /// breaker-aware variants.
     fn exec_attempt(
         &self,
         spec: &StepSpec,
         attempt: u32,
         attempt_start: f64,
         state: &CycleState,
+        breakers: &mut BreakerSet,
+        ctx: &mut StepCtx,
     ) -> Result<AttemptOk, f64> {
         match &spec.kind {
             StepKind::Fixed { secs } => {
@@ -400,6 +638,17 @@ impl Engine {
                     BytesSpec::Const { bytes } => *bytes,
                     BytesSpec::Summaries => state.summary_bytes,
                 };
+                if self.failover.enabled {
+                    return self.exec_transfer_failover(
+                        spec,
+                        (*from, *to, n, label),
+                        attempt,
+                        attempt_start,
+                        state,
+                        breakers,
+                        ctx,
+                    );
+                }
                 match self.env.link.attempt(&self.faults.link, label, attempt, n) {
                     Ok(duration) => {
                         if let Some(cap) = spec.retry.timeout_secs {
@@ -429,6 +678,9 @@ impl Engine {
                 }
             }
             StepKind::DbRestore => {
+                if self.failover.enabled {
+                    return Ok(self.exec_db_failover(attempt_start, breakers, ctx));
+                }
                 let mut bounds = Vec::with_capacity(self.env.region_rows.len());
                 let mut secs = 0.0f64;
                 for &(region, rows) in &self.env.region_rows {
@@ -448,10 +700,28 @@ impl Engine {
                     label: None,
                 })
             }
-            StepKind::SlurmExecute => Ok(self.exec_slurm(state)),
+            StepKind::SlurmExecute => {
+                if self.failover.enabled {
+                    Ok(self.exec_slurm_failover(attempt_start, state, breakers, ctx))
+                } else {
+                    Ok(self.exec_slurm(state))
+                }
+            }
             StepKind::Collect => {
+                // Aggregation runs where the outputs are; after an
+                // execute failover that is the home cluster (classic
+                // runs always see Remote here, so nothing changes).
+                let nodes = match state.exec_site {
+                    Some(Site::Home) => {
+                        if spec.site == Site::Remote {
+                            ctx.failover = Some(Site::Home);
+                        }
+                        self.env.home.nodes
+                    }
+                    _ => self.env.remote.nodes,
+                };
                 let busy = state.slurm.as_ref().map(|s| s.busy_node_secs).unwrap_or(0.0);
-                let agg = (busy * 0.02 / self.env.remote.nodes as f64).max(60.0);
+                let agg = (busy * 0.02 / nodes as f64).max(60.0);
                 Ok(AttemptOk {
                     duration_secs: agg,
                     effect: StepEffect::Collect { agg_secs: agg },
@@ -461,16 +731,210 @@ impl Engine {
         }
     }
 
-    /// Pack + execute under Slurm, with straggler and node-failure
-    /// faults and the deadline-degradation loop.
-    fn exec_slurm(&self, state: &CycleState) -> AttemptOk {
-        let default_bound = self.env.db_max_connections / self.env.conns_per_task.max(1);
-        let bound_of = |r: usize| state.db_bounds.get(&r).copied().unwrap_or(default_bound).max(1);
-        let window = self.env.remote.window_secs() as f64;
+    /// Breaker-aware transfer attempt with re-routing, localization,
+    /// and hedging.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_transfer_failover(
+        &self,
+        spec: &StepSpec,
+        (from, to, n, label): (Site, Site, u64, &str),
+        attempt: u32,
+        attempt_start: f64,
+        state: &CycleState,
+        breakers: &mut BreakerSet,
+        ctx: &mut StepCtx,
+    ) -> Result<AttemptOk, f64> {
+        // Localization: after an execute failover the outputs are
+        // already on the home cluster, so the return transfer collapses
+        // to a local staging copy (disk-to-disk, no WAN, no WAN
+        // faults).
+        if from == Site::Remote && state.exec_site == Some(Site::Home) {
+            let local = GlobusLink { bandwidth_bps: 1.0e9, overhead_secs: 5.0 };
+            let duration = local.duration_secs(n);
+            ctx.failover = Some(Site::Home);
+            return Ok(AttemptOk {
+                duration_secs: duration,
+                effect: StepEffect::Transfer {
+                    transfer: Transfer {
+                        from: Site::Home,
+                        to: Site::Home,
+                        bytes: n,
+                        label: format!("{label} (local staging)"),
+                        start_secs: attempt_start,
+                        duration_secs: duration,
+                    },
+                },
+                label: None,
+            });
+        }
 
-        let mut kept: Vec<Task> = self.env.tasks.clone();
+        if !breakers.get(Resource::GlobusLink).admits(attempt_start) {
+            // Primary path's breaker open: take the slow-but-reliable
+            // fallback route. No breaker call is recorded — the
+            // fallback says nothing about the primary's health.
+            ctx.reroutes += 1;
+            ctx.events.push(EngineEvent::Rerouted {
+                step: ctx.step,
+                resource: Resource::GlobusLink,
+                at_secs: attempt_start,
+            });
+            let duration = self.env.fallback_link.duration_secs(n);
+            if let Some(cap) = spec.retry.timeout_secs {
+                if duration > cap {
+                    return Err(cap);
+                }
+            }
+            return Ok(AttemptOk {
+                duration_secs: duration,
+                effect: StepEffect::Transfer {
+                    transfer: Transfer {
+                        from,
+                        to,
+                        bytes: n,
+                        label: format!("{label} (fallback route)"),
+                        start_secs: attempt_start,
+                        duration_secs: duration,
+                    },
+                },
+                label: None,
+            });
+        }
+
+        match self.env.link.attempt(&self.faults.link, label, attempt, n) {
+            Ok(duration) => {
+                ctx.record_call(breakers, Resource::GlobusLink, attempt_start + duration, true);
+                let mut effective = duration;
+                let mut hedge_won = false;
+                if let Some(h) = self.failover.hedge {
+                    let trigger = h.latency_factor * self.env.link.duration_secs(n);
+                    if duration > trigger {
+                        // The attempt is straggling: duplicate it on
+                        // the fallback route and take the earlier
+                        // finisher.
+                        ctx.hedges += 1;
+                        let hedged = trigger + self.env.fallback_link.duration_secs(n);
+                        hedge_won = hedged < duration;
+                        ctx.events.push(EngineEvent::HedgeFired {
+                            step: ctx.step,
+                            resource: Resource::GlobusLink,
+                            at_secs: attempt_start + trigger,
+                            won: hedge_won,
+                        });
+                        effective = effective.min(hedged);
+                    }
+                }
+                if let Some(cap) = spec.retry.timeout_secs {
+                    if effective > cap {
+                        return Err(cap);
+                    }
+                }
+                let xfer_label =
+                    if hedge_won { format!("{label} (hedged)") } else { label.to_string() };
+                Ok(AttemptOk {
+                    duration_secs: effective,
+                    effect: StepEffect::Transfer {
+                        transfer: Transfer {
+                            from,
+                            to,
+                            bytes: n,
+                            label: xfer_label,
+                            start_secs: attempt_start,
+                            duration_secs: effective,
+                        },
+                    },
+                    label: None,
+                })
+            }
+            Err(wasted) => {
+                let wasted = match spec.retry.timeout_secs {
+                    Some(cap) => wasted.min(cap),
+                    None => wasted,
+                };
+                ctx.record_call(breakers, Resource::GlobusLink, attempt_start + wasted, false);
+                Err(wasted)
+            }
+        }
+    }
+
+    /// Breaker-aware snapshot restore: per-region health calls, standby
+    /// replicas when the database breaker is open, hedged restores for
+    /// stragglers.
+    fn exec_db_failover(
+        &self,
+        attempt_start: f64,
+        breakers: &mut BreakerSet,
+        ctx: &mut StepCtx,
+    ) -> AttemptOk {
+        let conns = self.env.conns_per_task;
+        let mut bounds = Vec::with_capacity(self.env.region_rows.len());
+        let mut secs = 0.0f64;
+        for &(region, rows) in &self.env.region_rows {
+            let standby = PopulationDb::standby(region, rows, self.env.db_max_connections);
+            if !breakers.get(Resource::PopulationDb).admits(attempt_start) {
+                // Fleet breaker open: restore this region on its cold
+                // standby from the start. The standby has a clean
+                // connection bound and is off the faulted nodes.
+                ctx.reroutes += 1;
+                ctx.events.push(EngineEvent::Rerouted {
+                    step: ctx.step,
+                    resource: Resource::PopulationDb,
+                    at_secs: attempt_start,
+                });
+                secs = secs.max(standby.startup_secs(true));
+                bounds.push((region, standby.task_bound(conns)));
+                continue;
+            }
+            let mut db = PopulationDb::new(region, rows, self.env.db_max_connections);
+            let exhausted = self.faults.db_exhaust_prob > 0.0
+                && fault_unit(self.faults.seed, "db-exhaust", region as u64)
+                    < self.faults.db_exhaust_prob;
+            if exhausted {
+                db.exhaust(self.faults.db_keep_fraction);
+            }
+            ctx.record_call(breakers, Resource::PopulationDb, attempt_start, !exhausted);
+            let nominal = db.startup_secs(true);
+            let mut restore = nominal;
+            if self.faults.db_slow_prob > 0.0
+                && fault_unit(self.faults.seed, "db-slow", region as u64) < self.faults.db_slow_prob
+            {
+                restore *= self.faults.db_slow_factor;
+            }
+            let mut bound = db.task_bound(conns);
+            if let Some(h) = self.failover.hedge {
+                let trigger = h.latency_factor * nominal;
+                if restore > trigger {
+                    // Straggling restore: race a standby restore
+                    // started at the trigger point.
+                    ctx.hedges += 1;
+                    let hedged = trigger + standby.startup_secs(true);
+                    let won = hedged < restore;
+                    ctx.events.push(EngineEvent::HedgeFired {
+                        step: ctx.step,
+                        resource: Resource::PopulationDb,
+                        at_secs: attempt_start + trigger,
+                        won,
+                    });
+                    if won {
+                        restore = hedged;
+                        bound = standby.task_bound(conns);
+                    }
+                }
+            }
+            secs = secs.max(restore);
+            bounds.push((region, bound));
+        }
+        AttemptOk {
+            duration_secs: secs,
+            effect: StepEffect::DbRestore { startup_secs: secs, bounds },
+            label: None,
+        }
+    }
+
+    /// The night's tasks with straggler faults applied.
+    fn night_tasks(&self) -> Vec<Task> {
+        let mut tasks: Vec<Task> = self.env.tasks.clone();
         if self.faults.straggler_prob > 0.0 {
-            for t in &mut kept {
+            for t in &mut tasks {
                 if fault_unit(self.faults.seed, "straggler", t.id as u64)
                     < self.faults.straggler_prob
                 {
@@ -478,7 +942,17 @@ impl Engine {
                 }
             }
         }
+        tasks
+    }
 
+    /// Pack + execute under Slurm, with straggler and node-failure
+    /// faults and the deadline-degradation loop.
+    fn exec_slurm(&self, state: &CycleState) -> AttemptOk {
+        let default_bound = self.env.db_max_connections / self.env.conns_per_task.max(1);
+        let bound_of = |r: usize| state.db_bounds.get(&r).copied().unwrap_or(default_bound).max(1);
+        let window = self.env.remote.window_secs() as f64;
+
+        let mut kept: Vec<Task> = self.night_tasks();
         let mut dropped: Vec<DroppedCell> = Vec::new();
         let (stats, agg) = loop {
             let plan = pack(&kept, self.env.remote.nodes, bound_of, self.env.algo);
@@ -505,6 +979,114 @@ impl Engine {
         };
         let _ = agg; // projected aggregation; the Collect step recomputes it
 
+        self.finish_slurm(stats, &kept, dropped, Site::Remote, 0.0)
+    }
+
+    /// Breaker-aware execute step. Tries the remote window first (when
+    /// its breaker admits), and instead of shedding cells on a miss,
+    /// re-plans the whole night onto the home cluster at failover
+    /// slowdown — shedding there only as a last resort.
+    fn exec_slurm_failover(
+        &self,
+        step_start: f64,
+        state: &CycleState,
+        breakers: &mut BreakerSet,
+        ctx: &mut StepCtx,
+    ) -> AttemptOk {
+        let default_bound = self.env.db_max_connections / self.env.conns_per_task.max(1);
+        let bound_of = |r: usize| state.db_bounds.get(&r).copied().unwrap_or(default_bound).max(1);
+        let window = self.env.remote.window_secs() as f64;
+        let base = self.night_tasks();
+
+        // Detection latency charged to a failover after a mid-window
+        // loss: the operator notices at the first node failure.
+        let mut wasted = 0.0f64;
+        if breakers.get(Resource::RemoteCluster).admits(step_start) {
+            let plan = pack(&base, self.env.remote.nodes, bound_of, self.env.algo);
+            let order: Vec<usize> =
+                plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+            let stats = SlurmSim::new(self.env.remote.clone()).run_with_faults(
+                &base,
+                &order,
+                bound_of,
+                &self.faults.node_failures,
+            );
+            let agg = (stats.busy_node_secs * 0.02 / self.env.remote.nodes as f64).max(60.0);
+            let fits = stats.finished_all() && state.db_secs + stats.makespan_secs + agg <= window;
+            ctx.record_call(
+                breakers,
+                Resource::RemoteCluster,
+                step_start + stats.makespan_secs.min(window),
+                fits && stats.preempted == 0,
+            );
+            if fits {
+                return self.finish_slurm(stats, &base, Vec::new(), Site::Remote, 0.0);
+            }
+            if stats.preempted > 0 {
+                wasted = self
+                    .faults
+                    .node_failures
+                    .iter()
+                    .map(|f| f.at_secs)
+                    .fold(f64::INFINITY, f64::min)
+                    .clamp(0.0, stats.makespan_secs);
+            }
+        }
+        // Otherwise (breaker already open, or the remote night is
+        // lost): re-plan on home. Node failures are not carried over —
+        // they modeled the remote cluster's hardware.
+        ctx.failover = Some(Site::Home);
+        ctx.events.push(EngineEvent::FailedOver {
+            step: ctx.step,
+            from: Site::Remote,
+            to: Site::Home,
+            at_secs: step_start + wasted,
+        });
+        let slowdown = self
+            .failover
+            .home_slowdown
+            .unwrap_or_else(|| self.env.home.failover_slowdown(&self.env.remote));
+        let mut kept: Vec<Task> = base;
+        for t in &mut kept {
+            t.actual_secs *= slowdown;
+        }
+        let mut dropped: Vec<DroppedCell> = Vec::new();
+        let stats = loop {
+            let plan = pack(&kept, self.env.home.nodes, bound_of, self.env.algo);
+            let order: Vec<usize> =
+                plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
+            let stats =
+                SlurmSim::new(self.env.home.clone()).run_with_faults(&kept, &order, bound_of, &[]);
+            let agg = (stats.busy_node_secs * 0.02 / self.env.home.nodes as f64).max(60.0);
+            let fits = stats.finished_all()
+                && state.db_secs + wasted + stats.makespan_secs + agg <= window;
+            if fits || !self.deadline.shed_cells {
+                break stats;
+            }
+            let Some(shed) = kept.iter().map(|t| t.cell).max() else {
+                break stats;
+            };
+            let n_before = kept.len();
+            kept.retain(|t| t.cell != shed);
+            dropped.push(DroppedCell { cell: shed, tasks: n_before - kept.len() });
+        };
+        self.finish_slurm(stats, &kept, dropped, Site::Home, wasted)
+    }
+
+    /// Shared execute-step epilogue: output volumes over the tasks that
+    /// ran, the timeline label, and the journalable effect. `wasted` is
+    /// folded into the reported makespan so the window check and the
+    /// timeline agree on the night's true span.
+    fn finish_slurm(
+        &self,
+        mut stats: SlurmStats,
+        kept: &[Task],
+        dropped: Vec<DroppedCell>,
+        site: Site,
+        wasted: f64,
+    ) -> AttemptOk {
+        stats.makespan_secs += wasted;
+
         // Output volumes over tasks that ran (per completed simulation:
         // ~25% attack over the population, ~6 transitions/case, 24 B per
         // line; summaries per Table I shape).
@@ -529,6 +1111,7 @@ impl Engine {
                 raw_output_bytes,
                 summary_bytes,
                 dropped,
+                site,
             },
             label: Some(label),
         }
@@ -543,11 +1126,12 @@ fn apply_effect(effect: &StepEffect, state: &mut CycleState) {
             state.db_secs = *startup_secs;
             state.db_bounds = bounds.iter().copied().collect();
         }
-        StepEffect::Execution { slurm, raw_output_bytes, summary_bytes, dropped } => {
+        StepEffect::Execution { slurm, raw_output_bytes, summary_bytes, dropped, site } => {
             state.slurm = Some(slurm.clone());
             state.raw_output_bytes = *raw_output_bytes;
             state.summary_bytes = *summary_bytes;
             state.dropped = dropped.clone();
+            state.exec_site = Some(*site);
         }
         StepEffect::Collect { agg_secs } => state.agg_secs = *agg_secs,
     }

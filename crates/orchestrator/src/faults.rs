@@ -28,6 +28,11 @@ pub struct FaultPlan {
     pub straggler_prob: f64,
     /// Runtime multiplier applied to straggler tasks.
     pub straggler_factor: f64,
+    /// Probability a region's snapshot restore straggles (I/O
+    /// contention on the database nodes), stretching its startup time.
+    pub db_slow_prob: f64,
+    /// Startup-time multiplier for straggling restores.
+    pub db_slow_factor: f64,
 }
 
 impl Default for FaultPlan {
@@ -40,6 +45,8 @@ impl Default for FaultPlan {
             db_keep_fraction: 1.0,
             straggler_prob: 0.0,
             straggler_factor: 1.0,
+            db_slow_prob: 0.0,
+            db_slow_factor: 1.0,
         }
     }
 }
@@ -48,9 +55,11 @@ impl FaultPlan {
     /// True when no fault source is active.
     pub fn is_quiet(&self) -> bool {
         self.link.fail_prob <= 0.0
+            && self.link.slow_prob <= 0.0
             && self.node_failures.is_empty()
             && self.db_exhaust_prob <= 0.0
             && self.straggler_prob <= 0.0
+            && self.db_slow_prob <= 0.0
     }
 }
 

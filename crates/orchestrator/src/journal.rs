@@ -9,15 +9,26 @@
 //! [`crate::faults`]), the resumed run's final report is byte-identical
 //! to the report an uninterrupted run would have produced.
 //!
-//! The journal serializes to JSON via `to_json`/`from_json`, which is
-//! how a real deployment would persist it between the 10 pm kickoff and
-//! an operator restart.
+//! The journal serializes to JSON via `to_json`/`from_json`, and to an
+//! append-friendly JSON-lines form via `to_jsonl`/`recover_jsonl`,
+//! which is how a real deployment persists it between the 10 pm kickoff
+//! and an operator restart. On-disk writes go through
+//! [`Journal::save_atomic`] (temp file + fsync + rename) or the
+//! incremental [`JournalWriter`] (one fsynced line per commit record),
+//! so a crash can tear at most the trailing line — which
+//! [`Journal::recover_jsonl`] drops, exactly as if the step had never
+//! committed.
 
+use crate::breaker::ResourceCall;
 use crate::engine::{DroppedCell, TimelineEvent};
 use crate::step::StepId;
+use epiflow_hpcsim::cluster::Site;
 use epiflow_hpcsim::globus::Transfer;
 use epiflow_hpcsim::slurm::SlurmStats;
 use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
 
 /// The state delta a completed step contributed, sufficient to replay
 /// the step without re-executing it.
@@ -31,13 +42,16 @@ pub enum StepEffect {
     /// Database snapshots instantiated; per-region concurrent-task
     /// bounds (shrunk by any exhaustion faults) feed the execute step.
     DbRestore { startup_secs: f64, bounds: Vec<(usize, usize)> },
-    /// The night's Slurm execution: stats, output volumes, and any
-    /// cells shed to protect the deadline.
+    /// The night's Slurm execution: stats, output volumes, any cells
+    /// shed to protect the deadline, and the site it ultimately ran on
+    /// (differs from the spec's site after a cross-cluster failover —
+    /// downstream collect/transfer steps re-plan from this on resume).
     Execution {
         slurm: SlurmStats,
         raw_output_bytes: u64,
         summary_bytes: u64,
         dropped: Vec<DroppedCell>,
+        site: Site,
     },
     /// Post-simulation aggregation time.
     Collect { agg_secs: f64 },
@@ -53,6 +67,22 @@ pub struct JournalEntry {
     pub wasted_secs: f64,
     pub event: TimelineEvent,
     pub effect: StepEffect,
+    /// Calls the step made to breaker-guarded resources, in order.
+    /// Resume replays these into the breakers so breaker state at the
+    /// first live step matches the uninterrupted run.
+    #[serde(default)]
+    pub calls: Vec<ResourceCall>,
+    /// Site the step was failed over to, if the failover policy moved
+    /// it off its planned site.
+    #[serde(default)]
+    pub failover: Option<Site>,
+    /// Speculative duplicate attempts the hedging policy launched.
+    #[serde(default)]
+    pub hedges: u32,
+    /// Calls re-routed to the alternate resource because a breaker was
+    /// open (fallback link, standby database).
+    #[serde(default)]
+    pub reroutes: u32,
 }
 
 /// The write-ahead journal: completions in execution order.
@@ -75,12 +105,121 @@ impl Journal {
     pub fn prefix(&self, n: usize) -> Journal {
         Journal { entries: self.entries[..n.min(self.entries.len())].to_vec() }
     }
+
+    /// One JSON object per line, one line per commit record — the
+    /// on-disk append format ([`JournalWriter`] produces the same
+    /// bytes incrementally).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&serde_json::to_string(e).expect("entry serializes infallibly"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSON-lines journal, rejecting any malformed line.
+    pub fn from_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+        let mut entries = Vec::new();
+        for line in s.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            entries.push(serde_json::from_str(line)?);
+        }
+        Ok(Journal { entries })
+    }
+
+    /// Crash recovery: parse every intact line and report whether a torn
+    /// trailing record was dropped. Because [`JournalWriter`] fsyncs each
+    /// complete line before the step is considered committed, a tear can
+    /// only be the final record mid-write; dropping it leaves the journal
+    /// exactly as if the crash had hit one step earlier, which resume
+    /// already handles. A malformed line *before* an intact one means
+    /// real corruption, and that is still an error.
+    pub fn recover_jsonl(s: &str) -> Result<(Self, bool), serde_json::Error> {
+        let lines: Vec<&str> = s.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut entries = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str(line) {
+                Ok(e) => entries.push(e),
+                Err(_) if i + 1 == lines.len() => return Ok((Journal { entries }, true)),
+                Err(err) => return Err(err),
+            }
+        }
+        Ok((Journal { entries }, false))
+    }
+
+    /// Persist atomically: write a temp file alongside `path`, fsync it,
+    /// then rename over the destination (and fsync the directory so the
+    /// rename itself survives power loss). Readers never observe a
+    /// half-written journal.
+    pub fn save_atomic(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(self.to_jsonl().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                File::open(dir)?.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental write-ahead persistence: append one fsynced JSON line
+/// per commit record. The fsync *before* returning is the write-ahead
+/// guarantee — a step only counts as committed once its record is
+/// durable, so recovery sees either the whole record or (for a tear
+/// mid-line during the crash itself) a trailing fragment that
+/// [`Journal::recover_jsonl`] drops.
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Create (truncating) the journal file.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JournalWriter { file: File::create(path)? })
+    }
+
+    /// Durably append one commit record.
+    pub fn commit(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        let mut line = serde_json::to_string(entry).expect("entry serializes infallibly");
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_all()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use epiflow_hpcsim::cluster::Site;
+    use crate::breaker::Resource;
+
+    fn entry(step: StepId) -> JournalEntry {
+        JournalEntry {
+            step,
+            attempts: 1,
+            wasted_secs: 0.0,
+            event: TimelineEvent {
+                label: format!("step {step}"),
+                site: Site::Remote,
+                start_secs: step as f64,
+                duration_secs: 1.0,
+                automated: true,
+            },
+            effect: StepEffect::None,
+            calls: Vec::new(),
+            failover: None,
+            hedges: 0,
+            reroutes: 0,
+        }
+    }
 
     #[test]
     fn journal_round_trips_through_json() {
@@ -106,6 +245,17 @@ mod tests {
                         duration_secs: 123.456,
                     },
                 },
+                calls: vec![
+                    ResourceCall {
+                        resource: Resource::GlobusLink,
+                        at_secs: 7200.0,
+                        success: false,
+                    },
+                    ResourceCall { resource: Resource::GlobusLink, at_secs: 7241.5, success: true },
+                ],
+                failover: Some(Site::Home),
+                hedges: 1,
+                reroutes: 2,
             }],
         };
         let json = journal.to_json();
@@ -117,21 +267,77 @@ mod tests {
     fn prefix_truncates() {
         let mut journal = Journal::default();
         for step in 0..4 {
-            journal.entries.push(JournalEntry {
-                step,
-                attempts: 1,
-                wasted_secs: 0.0,
-                event: TimelineEvent {
-                    label: format!("step {step}"),
-                    site: Site::Remote,
-                    start_secs: step as f64,
-                    duration_secs: 1.0,
-                    automated: true,
-                },
-                effect: StepEffect::None,
-            });
+            journal.entries.push(entry(step));
         }
         assert_eq!(journal.prefix(2).entries.len(), 2);
         assert_eq!(journal.prefix(99), journal);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let journal = Journal { entries: (0..3).map(entry).collect() };
+        let jsonl = journal.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3, "one line per commit record");
+        let back = Journal::from_jsonl(&jsonl).expect("parse own jsonl");
+        assert_eq!(back, journal);
+        let (recovered, torn) = Journal::recover_jsonl(&jsonl).expect("recover intact jsonl");
+        assert_eq!(recovered, journal);
+        assert!(!torn);
+    }
+
+    #[test]
+    fn recovery_drops_torn_trailing_record() {
+        let journal = Journal { entries: (0..3).map(entry).collect() };
+        let jsonl = journal.to_jsonl();
+        // Crash mid-write of the final record: keep the first two lines
+        // plus half of the third.
+        let split = jsonl.lines().take(2).map(|l| l.len() + 1).sum::<usize>();
+        let torn_text = &jsonl[..split + jsonl.lines().nth(2).unwrap().len() / 2];
+        let (recovered, torn) = Journal::recover_jsonl(torn_text).expect("recover torn jsonl");
+        assert!(torn);
+        assert_eq!(recovered, journal.prefix(2));
+        // …but a torn line in the *middle* is corruption, not a tear.
+        let mut lines: Vec<String> = jsonl.lines().map(String::from).collect();
+        let half = lines[1].len() / 2;
+        lines[1].truncate(half);
+        assert!(Journal::recover_jsonl(&lines.join("\n")).is_err());
+        // Strict parsing refuses torn journals outright.
+        assert!(Journal::from_jsonl(torn_text).is_err());
+    }
+
+    #[test]
+    fn writer_bytes_match_to_jsonl_and_atomic_save_round_trips() {
+        let journal = Journal { entries: (0..3).map(entry).collect() };
+        let dir = std::env::temp_dir().join(format!("epiflow-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inc = dir.join("incremental.jsonl");
+        let mut w = JournalWriter::create(&inc).unwrap();
+        for e in &journal.entries {
+            w.commit(e).unwrap();
+        }
+        drop(w);
+        assert_eq!(std::fs::read_to_string(&inc).unwrap(), journal.to_jsonl());
+        let atomic = dir.join("atomic.jsonl");
+        journal.save_atomic(&atomic).unwrap();
+        let (back, torn) =
+            Journal::recover_jsonl(&std::fs::read_to_string(&atomic).unwrap()).unwrap();
+        assert_eq!(back, journal);
+        assert!(!torn);
+        assert!(!atomic.with_extension("tmp").exists(), "temp file renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_without_resilience_fields_still_parses() {
+        // A PR-1-era record has no calls/failover/hedges/reroutes keys;
+        // `#[serde(default)]` must fill them in.
+        let line = concat!(
+            r#"{"step":0,"attempts":1,"wasted_secs":0.0,"#,
+            r#""event":{"label":"step 0","site":"Remote","start_secs":0.0,"#,
+            r#""duration_secs":1.0,"automated":true},"effect":{"type":"none"}}"#,
+        );
+        let journal = Journal::from_jsonl(line).expect("legacy record parses");
+        assert_eq!(journal.entries.len(), 1);
+        assert_eq!(journal.entries[0], entry(0));
     }
 }

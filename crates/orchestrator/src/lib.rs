@@ -24,20 +24,34 @@
 //! * [`journal`] — the write-ahead journal of step completions; a
 //!   killed cycle resumes from it without redoing finished steps, and
 //!   the resumed report is byte-identical to an uninterrupted run.
+//! * [`breaker`] — per-resource circuit breakers (closed / open /
+//!   half-open) over the Globus link, the remote cluster, and the
+//!   population-database fleet, with replay-exact state reconstruction
+//!   from journaled call streams.
 //! * [`nightly`] — the builder mapping the Fig.-2 cycle onto the DAG;
 //!   `epiflow-core`'s `CombinedWorkflow` runs on top of it.
+//! * [`campaign`] — the chaos-campaign harness: many seeded nights in
+//!   parallel under sampled fault plans, reporting within-window
+//!   success rates and failover/hedge/shed distributions per fault
+//!   intensity.
 
+pub mod breaker;
+pub mod campaign;
 pub mod engine;
 pub mod faults;
 pub mod journal;
 pub mod nightly;
 pub mod step;
 
+pub use breaker::{
+    BreakerConfig, BreakerSet, BreakerState, CircuitBreaker, Resource, ResourceCall,
+};
+pub use campaign::{sample_fault_plan, CampaignReport, CampaignSpec, IntensityStats, NightOutcome};
 pub use engine::{
     timeline_text, CycleEnv, CycleReport, DeadlinePolicy, DroppedCell, Engine, EngineEvent,
-    RunResult, TimelineEvent,
+    EventCounters, FailoverPolicy, HedgePolicy, RunResult, TimelineEvent,
 };
 pub use faults::{fault_unit, FaultPlan, LinkFaults};
-pub use journal::{Journal, JournalEntry, StepEffect};
+pub use journal::{Journal, JournalEntry, JournalWriter, StepEffect};
 pub use nightly::{nightly_engine, NightlySpec};
 pub use step::{BytesSpec, Dag, RetryPolicy, StepId, StepKind, StepSpec};

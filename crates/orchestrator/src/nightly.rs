@@ -7,7 +7,8 @@
 //! DAG is what lets the engine retry, journal, and degrade each step
 //! independently.
 
-use crate::engine::{CycleEnv, DeadlinePolicy, Engine};
+use crate::breaker::BreakerConfig;
+use crate::engine::{CycleEnv, DeadlinePolicy, Engine, FailoverPolicy};
 use crate::faults::FaultPlan;
 use crate::step::{BytesSpec, Dag, RetryPolicy, StepKind, StepSpec};
 use epiflow_hpcsim::cluster::{ClusterSpec, Site};
@@ -21,6 +22,12 @@ use epiflow_hpcsim::task::Task;
 pub struct NightlySpec {
     pub link: GlobusLink,
     pub remote: ClusterSpec,
+    /// The home cluster — failover target when the remote night is
+    /// lost.
+    pub home: ClusterSpec,
+    /// Slow secondary route used when the primary link's breaker is
+    /// open, and as the hedge target.
+    pub fallback_link: GlobusLink,
     pub algo: PackAlgo,
     /// Per-region database connection bound B(r).
     pub db_max_connections: usize,
@@ -32,6 +39,11 @@ pub struct NightlySpec {
     /// Retry policy for the two Globus transfers (the other steps run
     /// in-cluster and are not retried at this level).
     pub transfer_retry: RetryPolicy,
+    /// Cross-cluster failover + hedging (off by default — the classic
+    /// engine).
+    pub failover: FailoverPolicy,
+    /// Circuit-breaker tuning for the guarded resources.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for NightlySpec {
@@ -39,6 +51,8 @@ impl Default for NightlySpec {
         NightlySpec {
             link: GlobusLink::default(),
             remote: ClusterSpec::bridges(),
+            home: ClusterSpec::rivanna(),
+            fallback_link: GlobusLink { bandwidth_bps: 50e6, overhead_secs: 60.0 },
             algo: PackAlgo::FfdtDc,
             db_max_connections: 64,
             conns_per_task: 4,
@@ -49,6 +63,8 @@ impl Default for NightlySpec {
             // covers the observed drop rates without breaking the
             // window.
             transfer_retry: RetryPolicy::retries(4, 120.0),
+            failover: FailoverPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -137,13 +153,15 @@ pub fn nightly_engine(
     let env = CycleEnv {
         link: spec.link.clone(),
         remote: spec.remote.clone(),
+        home: spec.home.clone(),
+        fallback_link: spec.fallback_link.clone(),
         algo: spec.algo,
         db_max_connections: spec.db_max_connections,
         conns_per_task: spec.conns_per_task,
         tasks,
         region_rows,
     };
-    Engine { dag, env, faults, deadline }
+    Engine { dag, env, faults, deadline, failover: spec.failover, breaker: spec.breaker }
 }
 
 #[cfg(test)]

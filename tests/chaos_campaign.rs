@@ -1,0 +1,192 @@
+//! Chaos-campaign acceptance suite: cross-cluster failover, durable
+//! journals, and the parallel fault-intensity sweep.
+//!
+//! The headline scenario is a *total remote-cluster loss* two hours
+//! into the nightly window. The classic engine can only shed cells;
+//! the failover engine re-plans the night onto the home cluster at its
+//! slower contended rate and still delivers every cell before 8 am.
+//! Killing the cycle mid-failover and resuming from any persisted
+//! journal prefix — including one with a torn trailing record — must
+//! yield a byte-identical report.
+
+use epiflow::core::CombinedWorkflow;
+use epiflow::hpcsim::cluster::Site;
+use epiflow::hpcsim::slurm::NodeFailure;
+use epiflow::hpcsim::task::WorkloadSpec;
+use epiflow::orchestrator::{
+    CampaignSpec, DeadlinePolicy, EngineEvent, FailoverPolicy, FaultPlan, Journal, JournalWriter,
+    NightlySpec,
+};
+use epiflow::surveillance::{RegionRegistry, Scale};
+use std::fs;
+
+/// A 204-task night (the home cluster can absorb this much) that loses
+/// every remote node a minute into the execute step — early enough
+/// that nothing can finish remotely. `failover` selects the engine
+/// under test; everything else is identical.
+fn remote_kill_workflow(failover: bool) -> CombinedWorkflow {
+    CombinedWorkflow {
+        workload: WorkloadSpec { cells: 2, replicates: 2, ..WorkloadSpec::prediction() },
+        faults: FaultPlan {
+            seed: 42,
+            node_failures: vec![NodeFailure { at_secs: 60.0, nodes: 720 }],
+            ..FaultPlan::default()
+        },
+        deadline: DeadlinePolicy { shed_cells: true },
+        failover: if failover { FailoverPolicy::on() } else { FailoverPolicy::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn remote_kill_fails_over_to_home_with_zero_shed() {
+    let reg = RegionRegistry::new();
+
+    // Classic engine: the dead remote cluster forces shedding.
+    let classic = remote_kill_workflow(false).engine(&reg, Scale::default()).run();
+    assert!(
+        !classic.report.dropped_cells.is_empty(),
+        "without failover a total remote loss must shed cells"
+    );
+
+    // Failover engine: the same night re-plans onto the home cluster
+    // and finishes whole.
+    let run = remote_kill_workflow(true).engine(&reg, Scale::default()).run();
+    assert!(run.report.within_window, "failover must deliver the night inside the window");
+    assert!(run.report.dropped_cells.is_empty(), "failover must shed zero cells");
+    assert!(run.report.failed_steps.is_empty());
+
+    // The re-plan is visible end to end: a FailedOver event, the step
+    // named in the report, and the execute step on the Home timeline.
+    assert!(
+        run.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::FailedOver { from: Site::Remote, to: Site::Home, .. }
+        )),
+        "expected a FailedOver event: {:?}",
+        run.events
+    );
+    assert!(run.report.failover_steps.iter().any(|s| s.contains("Slurm")));
+    assert!(
+        run.report
+            .timeline
+            .iter()
+            .any(|t| t.site == Site::Home && t.label.starts_with("Slurm job arrays")),
+        "execute step must appear on the Home timeline"
+    );
+    // All simulated work ran: nothing unstarted, nothing silently lost.
+    let slurm = run.report.slurm.as_ref().expect("execute step ran");
+    assert_eq!(slurm.unstarted, 0);
+    assert_eq!(run.report.n_tasks, 204);
+}
+
+#[test]
+fn kill_and_resume_mid_failover_is_byte_identical_for_every_prefix() {
+    let reg = RegionRegistry::new();
+    let engine = remote_kill_workflow(true).engine(&reg, Scale::default());
+    let full = engine.run();
+    let full_json = serde_json::to_string(&full.report).unwrap();
+    assert_eq!(full.journal.entries.len(), 7, "all seven Fig.-2 steps completed");
+
+    let dir = std::env::temp_dir().join(format!("epiflow-chaos-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    for k in 0..=full.journal.entries.len() {
+        // "Kill" the cycle after k completions; what survives is the
+        // atomically-persisted JSONL journal on disk.
+        let path = dir.join(format!("journal-{k}.jsonl"));
+        full.journal.prefix(k).save_atomic(&path).unwrap();
+        let (recovered, torn) = Journal::recover_jsonl(&fs::read_to_string(&path).unwrap())
+            .expect("persisted journal recovers");
+        assert!(!torn, "atomic save never leaves a torn record");
+        let resumed = engine.resume(&recovered);
+        assert_eq!(
+            serde_json::to_string(&resumed.report).unwrap(),
+            full_json,
+            "resume after {k} completions must be byte-identical"
+        );
+        assert_eq!(
+            resumed.live_steps.len(),
+            full.journal.entries.len() - k,
+            "resume after {k} completions must not redo finished steps"
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_trailing_record_recovers_and_resumes_identically() {
+    let reg = RegionRegistry::new();
+    let engine = remote_kill_workflow(true).engine(&reg, Scale::default());
+    let full = engine.run();
+    let full_json = serde_json::to_string(&full.report).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("epiflow-torn-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+
+    // Commit the first four steps through the write-ahead writer, then
+    // simulate a crash mid-write of the fifth: append half a record.
+    let mut writer = JournalWriter::create(&path).unwrap();
+    for entry in &full.journal.entries[..4] {
+        writer.commit(entry).unwrap();
+    }
+    drop(writer);
+    let fifth = serde_json::to_string(&full.journal.entries[4]).unwrap();
+    let mut bytes = fs::read(&path).unwrap();
+    bytes.extend_from_slice(&fifth.as_bytes()[..fifth.len() / 2]);
+    fs::write(&path, &bytes).unwrap();
+
+    let (recovered, torn) =
+        Journal::recover_jsonl(&fs::read_to_string(&path).unwrap()).expect("recovery succeeds");
+    assert!(torn, "the half-written fifth record is detected and dropped");
+    assert_eq!(recovered.entries.len(), 4, "the four committed steps survive");
+    let resumed = engine.resume(&recovered);
+    assert_eq!(
+        serde_json::to_string(&resumed.report).unwrap(),
+        full_json,
+        "resume from a torn journal must be byte-identical"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_sweep_is_deterministic_and_quiet_nights_always_succeed() {
+    let reg = RegionRegistry::new();
+    let wf = remote_kill_workflow(true);
+    let engine = wf.engine(&reg, Scale::default());
+    let spec = CampaignSpec {
+        nightly: NightlySpec { failover: FailoverPolicy::on(), ..NightlySpec::default() },
+        tasks: engine.env.tasks.clone(),
+        region_rows: engine.env.region_rows.clone(),
+        deadline: DeadlinePolicy { shed_cells: true },
+        intensities: vec![0.0, 0.5, 1.0],
+        nights_per_intensity: 6,
+        base_seed: 2021,
+    };
+
+    let report = spec.run();
+    assert_eq!(report.per_intensity.len(), 3);
+    assert_eq!(report.outcomes.len(), 18);
+
+    // Quiet nights always fit the window.
+    let quiet = &report.per_intensity[0];
+    assert_eq!(quiet.successes, 6);
+    assert!((quiet.success_rate - 1.0).abs() < 1e-12);
+    assert_eq!(quiet.failovers + quiet.hedges + quiet.reroutes + quiet.retries, 0);
+    assert_eq!(quiet.shed_cells_total, 0);
+
+    // Stress shows up in the counters as intensity rises, and the
+    // failover engine keeps shedding at zero across the whole sweep.
+    let stressed = &report.per_intensity[2];
+    assert!(
+        stressed.failovers + stressed.hedges + stressed.reroutes + stressed.retries > 0,
+        "intensity 1.0 must exercise the resilience machinery: {stressed:?}"
+    );
+    for i in &report.per_intensity {
+        assert!(i.mean_cycle_hours > 0.0);
+    }
+
+    // Same seed ⇒ same campaign, however the rayon pool schedules it.
+    let again = spec.run();
+    assert_eq!(report, again, "campaigns are deterministic for a fixed seed");
+}

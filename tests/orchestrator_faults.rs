@@ -38,6 +38,7 @@ fn faulty_workflow() -> CombinedWorkflow {
             db_keep_fraction: 0.5,
             straggler_prob: 0.05,
             straggler_factor: 3.0,
+            ..FaultPlan::default()
         },
         deadline: DeadlinePolicy { shed_cells: true },
         ..Default::default()

@@ -1,21 +1,43 @@
 //! Property-based tests over the core invariants, spanning crates.
 
+use epiflow::core::CombinedWorkflow;
 use epiflow::epihiper::engine::CounterRng;
 use epiflow::epihiper::partition::partition_network;
+use epiflow::hpcsim::cluster::ClusterSpec;
 use epiflow::hpcsim::cluster::Site;
 use epiflow::hpcsim::coloring::{
     greedy_relaxed_coloring, validate_relaxed_coloring, ConflictGraph,
 };
 use epiflow::hpcsim::schedule::{pack, PackAlgo};
 use epiflow::hpcsim::task::Task;
+use epiflow::hpcsim::task::WorkloadSpec;
 use epiflow::linalg::{cholesky, Mat};
-use epiflow::orchestrator::{CycleEnv, Dag, Engine, EngineEvent, RetryPolicy, StepKind, StepSpec};
+use epiflow::orchestrator::{
+    sample_fault_plan, BreakerConfig, BreakerState, CampaignSpec, CircuitBreaker, CycleEnv, Dag,
+    DeadlinePolicy, Engine, EngineEvent, FailoverPolicy, NightlySpec, RetryPolicy, StepKind,
+    StepSpec,
+};
 use epiflow::surveillance::CaseSeries;
+use epiflow::surveillance::{RegionRegistry, Scale};
 use epiflow::synthpop::ipf::{integerize, ipf};
 use epiflow::synthpop::network::ContactEdge;
 use epiflow::synthpop::{ActivityType, ContactNetwork};
 use proptest::prelude::*;
 use rand::RngCore;
+
+/// A 204-task nightly engine with failover + hedging on and an
+/// arbitrary sampled fault plan (possibly a total remote kill).
+fn failover_engine(base_seed: u64, night: u64, intensity: f64) -> Engine {
+    let reg = RegionRegistry::new();
+    let wf = CombinedWorkflow {
+        workload: WorkloadSpec { cells: 2, replicates: 2, ..WorkloadSpec::prediction() },
+        faults: sample_fault_plan(base_seed, night, intensity, &ClusterSpec::bridges()),
+        deadline: DeadlinePolicy { shed_cells: true },
+        failover: FailoverPolicy::on(),
+        ..Default::default()
+    };
+    wf.engine(&reg, Scale::default())
+}
 
 fn arb_edges(max_nodes: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
     (2..max_nodes).prop_flat_map(move |n| {
@@ -313,5 +335,100 @@ proptest! {
         if a != b {
             prop_assert_ne!(take(a, t), take(b, t));
         }
+    }
+
+    /// A circuit breaker never admits a call while open before the
+    /// cool-down has elapsed, and always admits while closed. State is
+    /// modelled externally from the transitions `record` reports, so
+    /// this also pins `record` as the only place transitions happen.
+    #[test]
+    fn breaker_never_admits_while_open_before_cooldown(
+        calls in prop::collection::vec((0.0f64..200.0, any::<bool>()), 1..80),
+    ) {
+        let config = BreakerConfig::default();
+        let mut breaker = CircuitBreaker::new(config);
+        let mut now = 0.0;
+        let mut opened_at = None;
+        for (gap, success) in calls {
+            now += gap;
+            let admitted = breaker.admits(now);
+            match opened_at {
+                Some(t) if now - t < config.cooldown_secs => prop_assert!(
+                    !admitted,
+                    "admitted at {} while open since {} (cool-down {})",
+                    now, t, config.cooldown_secs
+                ),
+                Some(_) => prop_assert!(admitted, "cool-down elapsed: probe must be admitted"),
+                None => prop_assert!(admitted, "closed/half-open breakers admit"),
+            }
+            let probe = opened_at.is_some_and(|t| now - t >= config.cooldown_secs);
+            match breaker.record(now, success) {
+                Some((_, BreakerState::Open)) => opened_at = Some(now),
+                Some((_, BreakerState::Closed)) => opened_at = None,
+                // Half-open: cool-down has elapsed; probes admitted.
+                Some((_, BreakerState::HalfOpen)) => {}
+                // A failed probe re-trips Open → HalfOpen → Open within
+                // one `record`; from == to, so no transition is
+                // reported, but the cool-down clock restarts.
+                None if probe && !success => opened_at = Some(now),
+                None => {}
+            }
+        }
+    }
+
+    /// Under arbitrary sampled fault plans — total remote kills
+    /// included — failover never starts a step before its dependencies
+    /// end, and resume from any journal prefix is exact.
+    #[test]
+    fn failover_respects_deps_and_resumes_exactly(
+        base_seed in any::<u64>(),
+        night in 0u64..1000,
+        intensity in 0.0f64..1.0,
+    ) {
+        let engine = failover_engine(base_seed, night, intensity);
+        let full = engine.run();
+        let mut ends = std::collections::HashMap::new();
+        for e in &full.journal.entries {
+            ends.insert(e.step, e.event.start_secs + e.event.duration_secs);
+        }
+        for e in &full.journal.entries {
+            for &d in &engine.dag.steps[e.step].deps {
+                let dep_end = ends.get(&d).expect("a completed step's deps all completed");
+                prop_assert!(
+                    e.event.start_secs >= dep_end - 1e-9,
+                    "step {} started at {} before dep {} ended at {}",
+                    e.step, e.event.start_secs, d, dep_end
+                );
+            }
+        }
+        for k in 0..=full.journal.entries.len() {
+            let resumed = engine.resume(&full.journal.prefix(k));
+            prop_assert_eq!(&resumed.report, &full.report, "prefix {}", k);
+            prop_assert_eq!(&resumed.journal, &full.journal, "prefix {}", k);
+        }
+    }
+
+    /// A campaign is a pure function of its seed: the rayon fan-out
+    /// returns exactly what a sequential loop over `run_night` returns,
+    /// run after run.
+    #[test]
+    fn campaign_deterministic_regardless_of_parallelism(base_seed in any::<u64>()) {
+        let engine = failover_engine(0, 0, 0.0);
+        let spec = CampaignSpec {
+            nightly: NightlySpec { failover: FailoverPolicy::on(), ..NightlySpec::default() },
+            tasks: engine.env.tasks.clone(),
+            region_rows: engine.env.region_rows.clone(),
+            deadline: DeadlinePolicy { shed_cells: true },
+            intensities: vec![0.4, 1.0],
+            nights_per_intensity: 3,
+            base_seed,
+        };
+        let parallel = spec.run();
+        prop_assert_eq!(&parallel, &spec.run());
+        let sequential: Vec<_> = (0..spec.intensities.len())
+            .flat_map(|ii| (0..3u64).map(move |n| (ii, n)))
+            .map(|(ii, n)| spec.run_night(ii, n))
+            .collect();
+        prop_assert_eq!(&parallel.outcomes, &sequential);
     }
 }
