@@ -29,6 +29,19 @@ pub fn run_covid(
     n_partitions: usize,
     seed: u64,
 ) -> SimResult {
+    run_covid_mode(data, interventions, ticks, n_partitions, seed, false)
+}
+
+/// [`run_covid`] with an explicit scan-mode switch: `reference_scan =
+/// true` runs the pre-frontier full-range scan for A/B benchmarking.
+pub fn run_covid_mode(
+    data: &RegionData,
+    interventions: InterventionSet,
+    ticks: u32,
+    n_partitions: usize,
+    seed: u64,
+    reference_scan: bool,
+) -> SimResult {
     let n = data.population.len();
     let age: Vec<u8> =
         data.population.persons.iter().map(|p| p.age_group().index() as u8).collect();
@@ -46,6 +59,7 @@ pub fn run_covid(
             epsilon: 16,
             initial_infections: (n / 400).max(5),
             record_transitions: false,
+            reference_scan,
         },
     );
     sim.model.transmissibility = 0.35;

@@ -132,6 +132,7 @@ pub fn run_cell(
             epsilon: 16,
             initial_infections: cell.initial_infections,
             record_transitions,
+            reference_scan: false,
         },
     );
     let result = sim.run();

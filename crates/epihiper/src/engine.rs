@@ -7,22 +7,36 @@
 //! 2. **Scan phase** — partitions execute in parallel (rayon workers
 //!    standing in for MPI ranks; a partition owns all in-edges of its
 //!    nodes, so each worker reads shared last-tick state and writes only
-//!    its own event buffer). For every node the scan either fires a
-//!    scheduled progression or, for susceptible nodes, accumulates the
-//!    Eq.-(1) propensities over active in-edges and performs the
-//!    Gillespie draw for whether an exposure occurs and which contact
-//!    caused it.
+//!    its own event buffer). For every *candidate* node the scan either
+//!    fires a scheduled progression or, for susceptible nodes,
+//!    accumulates the Eq.-(1) propensities over active in-edges and
+//!    performs the Gillespie draw for whether an exposure occurs and
+//!    which contact caused it.
 //! 3. **Apply phase** — events are applied serially in node order,
-//!    updating health states, counters, the transition log, and the
-//!    memory accounting.
+//!    updating health states, counters, the transition log, the
+//!    frontier index, and the memory accounting.
+//!
+//! The default scan is **frontier-based**: per-tick cost is
+//! proportional to the active frontier (nodes with at least one
+//! infectious-capable in-neighbor, tracked by [`ActiveSet`]) plus due
+//! progressions (tracked by [`TickBuckets`]), not to the network size.
+//! A node outside the frontier has every transmission-LUT lookup
+//! `None`, so its λ accumulates to exactly 0.0 and the reference scan
+//! would skip it *before constructing its RNG* — skipping it outright
+//! therefore changes nothing. The pre-existing full-range scan is kept
+//! verbatim behind [`SimConfig::reference_scan`] for A/B verification;
+//! both produce byte-identical transition logs.
 //!
 //! Randomness is *counter-based*: each (node, tick) pair gets its own
 //! splitmix64 stream derived from the replicate seed, so results are
 //! bit-identical regardless of how many threads or partitions execute
 //! the scan — the property that lets strong-scaling benchmarks vary
-//! parallelism without changing the epidemic.
+//! parallelism without changing the epidemic, and the property that
+//! makes frontier skipping safe (no node's draws depend on whether
+//! another node was visited).
 
 use crate::disease::{DiseaseModel, StateId};
+use crate::frontier::{ActiveSet, TickBuckets};
 use crate::interventions::{InterventionCtx, InterventionSet};
 use crate::output::{SimOutput, TransitionRecord};
 use crate::partition::{partition_network, Partitioning};
@@ -95,6 +109,12 @@ pub struct EdgeRef {
     pub weight: f32,
     /// Contact duration `T` as a fraction of a day.
     pub duration_frac: f32,
+    /// Precomputed `duration_frac · weight` in f64 — the static prefix
+    /// of the Eq.-(1) propensity. Computing it once at build time saves
+    /// two widenings and a multiply per edge per tick, and because it
+    /// is the exact product the scan used to compute inline, the λ
+    /// accumulation stays bit-identical.
+    pub tw: f64,
     /// Activity context code of the owning node.
     pub ctx_self: u8,
     /// Activity context code of the neighbor.
@@ -133,6 +153,7 @@ impl RuntimeNet {
                 edge_id: 0,
                 weight: 0.0,
                 duration_frac: 0.0,
+                tw: 0.0,
                 ctx_self: 0,
                 ctx_nbr: 0
             };
@@ -140,12 +161,14 @@ impl RuntimeNet {
         ];
         for (eid, e) in network.edges.iter().enumerate() {
             let frac = f32::from(e.duration.min(1440)) / 1440.0;
+            let tw = frac as f64 * e.weight as f64;
             let at_u = cursor[e.u as usize] as usize;
             edges[at_u] = EdgeRef {
                 neighbor: e.v,
                 edge_id: eid as u32,
                 weight: e.weight,
                 duration_frac: frac,
+                tw,
                 ctx_self: e.ctx_u.code(),
                 ctx_nbr: e.ctx_v.code(),
             };
@@ -156,6 +179,7 @@ impl RuntimeNet {
                 edge_id: eid as u32,
                 weight: e.weight,
                 duration_frac: frac,
+                tw,
                 ctx_self: e.ctx_v.code(),
                 ctx_nbr: e.ctx_u.code(),
             };
@@ -194,6 +218,10 @@ pub struct SimConfig {
     /// Keep the full transition log (disable for large sweeps where
     /// only aggregates are needed).
     pub record_transitions: bool,
+    /// Use the pre-frontier full-range scan (O(nodes + edges) per tick)
+    /// instead of the frontier scan. Exists for A/B verification and
+    /// benchmarking; both modes produce byte-identical output.
+    pub reference_scan: bool,
 }
 
 impl Default for SimConfig {
@@ -205,6 +233,7 @@ impl Default for SimConfig {
             epsilon: 16,
             initial_infections: 5,
             record_transitions: true,
+            reference_scan: false,
         }
     }
 }
@@ -219,6 +248,40 @@ struct Event {
     next_state: StateId,
 }
 
+/// Per-tick engine telemetry, one entry per tick.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Frontier size at scan time (nodes with ≥1 infectious-capable
+    /// in-neighbor). Recorded in both scan modes.
+    pub frontier_nodes: Vec<u32>,
+    /// Scheduled progressions due this tick (bucket drains).
+    pub due_nodes: Vec<u32>,
+    /// In-edges examined by the λ-accumulation pass. This is the
+    /// quantity the frontier scan shrinks: the reference scan pays it
+    /// for every susceptible node, the frontier scan only for frontier
+    /// members.
+    pub edges_scanned: Vec<u64>,
+    /// State-transition events applied.
+    pub events: Vec<u32>,
+}
+
+impl EngineStats {
+    /// Sum of the per-tick λ-pass edge visits.
+    pub fn total_edges_scanned(&self) -> u64 {
+        self.edges_scanned.iter().sum()
+    }
+
+    /// Mean frontier occupancy as a fraction of the node count.
+    pub fn mean_frontier_occupancy(&self, n_nodes: usize) -> f64 {
+        if self.frontier_nodes.is_empty() || n_nodes == 0 {
+            return 0.0;
+        }
+        let mean = self.frontier_nodes.iter().map(|&f| f as f64).sum::<f64>()
+            / self.frontier_nodes.len() as f64;
+        mean / n_nodes as f64
+    }
+}
+
 /// Result of a run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -226,6 +289,26 @@ pub struct SimResult {
     /// Wall-clock time of the tick loop.
     pub elapsed: std::time::Duration,
     pub ticks_run: u32,
+    /// Per-tick engine telemetry.
+    pub stats: EngineStats,
+}
+
+/// Reusable per-partition scan state: the due-progression buffer, the
+/// event output buffer, and the Gillespie scratch. Owned by the
+/// simulation and handed to one worker per tick, so the hot loop
+/// allocates nothing.
+#[derive(Debug, Default)]
+struct Workspace {
+    part: usize,
+    range: std::ops::Range<u32>,
+    /// Nodes whose scheduled progression may fire this tick (drained
+    /// from [`TickBuckets`]; sorted, deduped, possibly stale).
+    due: Vec<u32>,
+    events: Vec<Event>,
+    /// Per-qualifying-edge `(ρ, neighbor, to_state)` from the λ pass,
+    /// reused by the Gillespie pick so the in-edge list is walked once.
+    scratch: Vec<(f64, u32, StateId)>,
+    edges_scanned: u64,
 }
 
 /// A configured simulation, ready to run.
@@ -243,6 +326,26 @@ pub struct Simulation {
     n_counties: usize,
     /// `lut[health * n_states + neighbor_health]` → (exposed state, ω).
     trans_lut: Vec<Option<(StateId, f64)>>,
+    /// `via_state[s]`: state `s` appears as `via` in some transmission,
+    /// i.e. nodes in `s` can infect. Gating on it is what makes the
+    /// frontier robust to interventions: edge enable-bits, context
+    /// closures, and infectivity/susceptibility scales only *multiply*
+    /// propensity terms, so a node with zero via-state in-neighbors has
+    /// λ ≡ 0 no matter what interventions did.
+    via_state: Vec<bool>,
+    /// Number of in-neighbors currently in a via state, per node.
+    inf_nbr_count: Vec<u32>,
+    /// Nodes with `inf_nbr_count > 0` — the transmission frontier.
+    active: ActiveSet,
+    /// Scheduled progressions, bucketed by firing tick.
+    buckets: TickBuckets,
+    /// Dense node → partition map (apply-phase bucket routing).
+    part_of: Vec<u32>,
+    workspaces: Vec<Workspace>,
+    /// Last observed [`SimState::health_epoch`]; a mismatch means an
+    /// intervention (or test harness) wrote health states externally
+    /// and the frontier index must be rebuilt.
+    seen_health_epoch: u64,
 }
 
 impl Simulation {
@@ -267,12 +370,25 @@ impl Simulation {
 
         let ns = model.n_states();
         let mut trans_lut = vec![None; ns * ns];
+        let mut via_state = vec![false; ns];
         for t in &model.transmissions {
             trans_lut[t.from as usize * ns + t.via as usize] = Some((t.to, t.omega));
+            via_state[t.via as usize] = true;
         }
         let n_counties = county.iter().map(|&c| c as usize + 1).max().unwrap_or(1);
 
-        Simulation {
+        let part_of = partitioning.index_map();
+        let workspaces = partitioning
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(k, r)| Workspace { part: k, range: r.clone(), ..Default::default() })
+            .collect();
+        let buckets = TickBuckets::new(partitioning.len());
+        let active = ActiveSet::new(network.n_nodes);
+        let inf_nbr_count = vec![0u32; network.n_nodes];
+
+        let mut sim = Simulation {
             net,
             model,
             state,
@@ -283,7 +399,77 @@ impl Simulation {
             partitioning,
             n_counties,
             trans_lut,
+            via_state,
+            inf_nbr_count,
+            active,
+            buckets,
+            part_of,
+            workspaces,
+            seen_health_epoch: 0,
+        };
+        sim.rebuild_frontier();
+        sim
+    }
+
+    /// Recompute the frontier index (`inf_nbr_count` + [`ActiveSet`])
+    /// from the authoritative health states, and snapshot the health
+    /// epoch. O(V + E); called at construction and whenever health
+    /// states were written externally (see [`SimState::set_health`]).
+    pub fn rebuild_frontier(&mut self) {
+        self.inf_nbr_count.iter_mut().for_each(|c| *c = 0);
+        self.active.clear();
+        for v in 0..self.net.n_nodes as u32 {
+            if self.via_state[self.state.health[v as usize] as usize] {
+                for e in self.net.in_edges(v) {
+                    self.inf_nbr_count[e.neighbor as usize] += 1;
+                }
+            }
         }
+        for v in 0..self.net.n_nodes as u32 {
+            if self.inf_nbr_count[v as usize] > 0 {
+                self.active.insert(v);
+            }
+        }
+        self.seen_health_epoch = self.state.health_epoch();
+    }
+
+    /// Incremental frontier maintenance for one health transition of
+    /// node `v`. O(deg(v)), and only when `v` crosses the via-state
+    /// boundary.
+    fn note_health_change(&mut self, v: u32, old: StateId, new: StateId) {
+        let was = self.via_state[old as usize];
+        let is = self.via_state[new as usize];
+        if was == is {
+            return;
+        }
+        if is {
+            for e in self.net.in_edges(v) {
+                let u = e.neighbor as usize;
+                self.inf_nbr_count[u] += 1;
+                if self.inf_nbr_count[u] == 1 {
+                    self.active.insert(e.neighbor);
+                }
+            }
+        } else {
+            for e in self.net.in_edges(v) {
+                let u = e.neighbor as usize;
+                self.inf_nbr_count[u] -= 1;
+                if self.inf_nbr_count[u] == 0 {
+                    self.active.remove(e.neighbor);
+                }
+            }
+        }
+    }
+
+    /// Frontier-index overhead for the memory model: the neighbor
+    /// counts, the partition map, both bitset levels, and the queued
+    /// bucket entries.
+    fn frontier_memory_bytes(&self) -> u64 {
+        let n = self.net.n_nodes;
+        ((self.inf_nbr_count.len() + self.part_of.len()) * 4
+            + n.div_ceil(64) * 8
+            + n.div_ceil(64).div_ceil(64) * 8
+            + self.buckets.queued() * 8) as u64
     }
 
     /// Schedule the progression out of `entered` for a node, returning
@@ -302,20 +488,24 @@ impl Simulation {
         }
     }
 
-    /// Seed `initial_infections` distinct nodes at tick 0.
+    /// Seed `initial_infections` distinct nodes at tick 0. The seeding
+    /// loop draws random nodes under a guard bound; any shortfall is
+    /// recorded in the output instead of being silently dropped.
     fn seed_infections(&mut self, output: &mut SimOutput) {
         let n = self.net.n_nodes;
+        let target = self.config.initial_infections.min(n);
+        output.requested_seeds = target as u32;
         if n == 0 {
             return;
         }
         let mut rng = CounterRng::new(self.config.seed, u32::MAX, 0);
-        let target = self.config.initial_infections.min(n);
         let mut seeded = 0usize;
         let mut guard = 0usize;
         while seeded < target && guard < target * 100 + 100 {
             guard += 1;
             let v = rng.random_range(0..n as u32);
-            if self.state.health[v as usize] != self.model.susceptible_state {
+            let old = self.state.health[v as usize];
+            if old != self.model.susceptible_state {
                 continue;
             }
             let s = self.model.initial_infected_state;
@@ -324,6 +514,10 @@ impl Simulation {
             self.state.health[v as usize] = s;
             self.state.exit_tick[v as usize] = exit;
             self.state.next_state[v as usize] = next;
+            if exit != NEVER {
+                self.buckets.push(self.part_of[v as usize] as usize, exit, v);
+            }
+            self.note_health_change(v, old, s);
             if self.config.record_transitions {
                 output.transitions.push(TransitionRecord {
                     tick: 0,
@@ -334,15 +528,19 @@ impl Simulation {
             }
             seeded += 1;
         }
+        output.seeded = seeded as u32;
     }
 
-    /// Scan one partition for tick `t`, producing its events.
-    fn scan_partition(&self, range: &std::ops::Range<u32>, t: u32) -> Vec<Event> {
-        let mut events = Vec::new();
+    /// The pre-frontier scan: walk every node of the partition,
+    /// re-deriving due progressions from `exit_tick` and λ from a full
+    /// in-edge pass (plus a second pass for the Gillespie pick). Kept
+    /// verbatim as the A/B baseline behind [`SimConfig::reference_scan`].
+    fn scan_partition_reference(&self, ws: &mut Workspace, t: u32) {
         let ns = self.model.n_states();
         let tau = self.model.transmissibility;
+        let range = ws.range.clone();
 
-        for v in range.clone() {
+        for v in range {
             let vi = v as usize;
             // Scheduled progression fires this tick.
             if self.state.exit_tick[vi] == t {
@@ -350,7 +548,7 @@ impl Simulation {
                 let mut rng = CounterRng::new(self.config.seed, v, t);
                 let (exit, next) =
                     Self::schedule(&self.model, to, self.age_group[vi] as usize, t, &mut rng);
-                events.push(Event {
+                ws.events.push(Event {
                     node: v,
                     new_state: to,
                     cause: None,
@@ -368,6 +566,7 @@ impl Simulation {
             }
             let lut_row = &self.trans_lut[hv as usize * ns..(hv as usize + 1) * ns];
             let mut lambda = 0.0f64;
+            ws.edges_scanned += self.net.in_edges(v).len() as u64;
             for e in self.net.in_edges(v) {
                 let u = e.neighbor as usize;
                 let hu = self.state.health[u];
@@ -378,7 +577,7 @@ impl Simulation {
                 let iota = self.model.states[hu as usize].infectivity
                     * self.state.infectivity_scale[u] as f64;
                 // Eq. (1): ρ = T · w_e · σ(Ps)·ι(Pi) · ω, scaled by τ.
-                lambda += e.duration_frac as f64 * e.weight as f64 * sigma * iota * omega * tau;
+                lambda += e.tw * sigma * iota * omega * tau;
             }
             if lambda <= 0.0 {
                 continue;
@@ -401,7 +600,7 @@ impl Simulation {
                 }
                 let iota = self.model.states[hu as usize].infectivity
                     * self.state.infectivity_scale[u] as f64;
-                let rho = e.duration_frac as f64 * e.weight as f64 * sigma * iota * omega * tau;
+                let rho = e.tw * sigma * iota * omega * tau;
                 pick -= rho;
                 if pick <= 0.0 {
                     cause = Some(e.neighbor);
@@ -427,7 +626,7 @@ impl Simulation {
             }
             let (exit, next) =
                 Self::schedule(&self.model, to_state, self.age_group[vi] as usize, t, &mut rng);
-            events.push(Event {
+            ws.events.push(Event {
                 node: v,
                 new_state: to_state,
                 cause,
@@ -435,13 +634,198 @@ impl Simulation {
                 next_state: next,
             });
         }
-        events
+    }
+
+    /// The scheduled-progression branch, shared by both frontier paths
+    /// (body identical to the reference scan's).
+    #[inline]
+    fn progress_node(&self, v: u32, t: u32, events: &mut Vec<Event>) {
+        let vi = v as usize;
+        let to = self.state.next_state[vi];
+        let mut rng = CounterRng::new(self.config.seed, v, t);
+        let (exit, next) =
+            Self::schedule(&self.model, to, self.age_group[vi] as usize, t, &mut rng);
+        events.push(Event {
+            node: v,
+            new_state: to,
+            cause: None,
+            exit_tick: exit,
+            next_state: next,
+        });
+    }
+
+    /// The transmission branch with the single-pass Gillespie pick: one
+    /// λ pass that stashes each qualifying edge's `(ρ, neighbor, to)`
+    /// in scratch as it accumulates, so the cause pick replays scratch
+    /// without ever rescanning the in-edge list. Scratch holds the same
+    /// ρ sequence the reference second pass recomputes (including ρ = 0
+    /// entries), and its last element is the reference fallback's
+    /// reverse-scan hit — so the emitted event is byte-identical to the
+    /// reference transmission branch.
+    #[inline]
+    fn transmit_node(
+        &self,
+        v: u32,
+        t: u32,
+        scratch: &mut Vec<(f64, u32, StateId)>,
+        events: &mut Vec<Event>,
+        edges_scanned: &mut u64,
+    ) {
+        let ns = self.model.n_states();
+        let tau = self.model.transmissibility;
+        let vi = v as usize;
+        let hv = self.state.health[vi];
+        let sigma = self.model.states[hv as usize].susceptibility
+            * self.state.susceptibility_scale[vi] as f64;
+        if sigma <= 0.0 {
+            return;
+        }
+        let lut_row = &self.trans_lut[hv as usize * ns..(hv as usize + 1) * ns];
+        let mut lambda = 0.0f64;
+        scratch.clear();
+        *edges_scanned += self.net.in_edges(v).len() as u64;
+        for e in self.net.in_edges(v) {
+            let u = e.neighbor as usize;
+            let hu = self.state.health[u];
+            let Some((to, omega)) = lut_row[hu as usize] else { continue };
+            if !self.state.edge_active(e.edge_id, v, e.neighbor, e.ctx_self, e.ctx_nbr, t) {
+                continue;
+            }
+            let iota =
+                self.model.states[hu as usize].infectivity * self.state.infectivity_scale[u] as f64;
+            // Eq. (1): ρ = T · w_e · σ(Ps)·ι(Pi) · ω, scaled by τ.
+            let rho = e.tw * sigma * iota * omega * tau;
+            lambda += rho;
+            scratch.push((rho, e.neighbor, to));
+        }
+        if lambda <= 0.0 {
+            return;
+        }
+        let mut rng = CounterRng::new(self.config.seed, v, t);
+        let p_infect = 1.0 - (-lambda).exp();
+        if !rng.random_bool(p_infect) {
+            return;
+        }
+        // Gillespie pick over the stashed propensities.
+        let mut pick = rng.random_range(0.0..lambda);
+        let mut chosen = None;
+        for &(rho, nbr, to) in scratch.iter() {
+            pick -= rho;
+            if pick <= 0.0 {
+                chosen = Some((nbr, to));
+                break;
+            }
+        }
+        // Floating-point remainder: the last qualifying contact (what
+        // the reference fallback's reverse scan finds).
+        let (cause_nbr, to_state) = chosen.unwrap_or_else(|| {
+            let &(_, nbr, to) = scratch.last().expect("λ > 0 implies a qualifying edge");
+            (nbr, to)
+        });
+        let (exit, next) =
+            Self::schedule(&self.model, to_state, self.age_group[vi] as usize, t, &mut rng);
+        events.push(Event {
+            node: v,
+            new_state: to_state,
+            cause: Some(cause_nbr),
+            exit_tick: exit,
+            next_state: next,
+        });
+    }
+
+    /// Fraction (numerator, denominator) above which the frontier scan
+    /// abandons the bitset merge for a plain full-range sweep: iterating
+    /// a near-full bitset plus the due-list merge and the single-pass
+    /// stash cost a few ns per node over the reference's bare range
+    /// loop, while sweeping the few off-frontier nodes costs only their
+    /// λ ≡ 0 edge walks. Measured crossover on a mean-degree-20 network
+    /// sits near 3/4 occupancy (direction-optimizing-BFS style switch).
+    const SATURATION_NUM: usize = 3;
+    const SATURATION_DEN: usize = 4;
+
+    /// The frontier scan: a two-pointer merge of the partition's due
+    /// progressions (sorted bucket drain) and its slice of the active
+    /// set, visited in ascending node order so events come out in
+    /// exactly the order the reference full-range sweep produces them.
+    ///
+    /// Equivalence to the reference scan, node by node:
+    /// * due ∧ `exit_tick == t` — the progression branch, identical.
+    /// * due ∧ `exit_tick != t` ∧ ¬active — a stale bucket entry for a
+    ///   node with no via-state in-neighbors: every LUT lookup is
+    ///   `None`, λ ≡ 0.0 exactly, and the reference scan falls through
+    ///   before constructing the node's RNG. Skipped.
+    /// * active — the transmission branch ([`Self::transmit_node`]).
+    /// * neither — λ ≡ 0.0 as above; the reference scan's only effect
+    ///   would be the `exit_tick`/σ checks. Skipped.
+    ///
+    /// When the partition's frontier occupancy exceeds
+    /// [`Self::SATURATION_NUM`]/[`Self::SATURATION_DEN`], the merge is
+    /// abandoned for this tick and the partition runs
+    /// [`Self::scan_partition_reference`] instead — the two scans emit
+    /// identical events (the engine's headline invariant), so at
+    /// saturation the frontier engine degenerates to the reference scan
+    /// with zero overhead by construction rather than paying bitset
+    /// iteration and stash writes for every node.
+    fn scan_partition_frontier(&self, ws: &mut Workspace, t: u32) {
+        let span = (ws.range.end - ws.range.start) as usize;
+        let occupied = self.active.count_range(ws.range.start, ws.range.end);
+        if occupied * Self::SATURATION_DEN >= span * Self::SATURATION_NUM {
+            // Saturated partition: the full sweep finds every due
+            // progression via its own `exit_tick` check, so the drained
+            // due list is not consulted.
+            self.scan_partition_reference(ws, t);
+            return;
+        }
+        let Workspace { range, due, events, scratch, edges_scanned, .. } = ws;
+
+        let mut di = 0usize;
+        let mut act = self.active.iter_range(range.start, range.end);
+        let mut next_act = act.next();
+        loop {
+            let (v, from_active) = match (due.get(di).copied(), next_act) {
+                (None, None) => break,
+                (Some(d), None) => {
+                    di += 1;
+                    (d, false)
+                }
+                (None, Some(a)) => {
+                    next_act = act.next();
+                    (a, true)
+                }
+                (Some(d), Some(a)) => {
+                    if d < a {
+                        di += 1;
+                        (d, false)
+                    } else if a < d {
+                        next_act = act.next();
+                        (a, true)
+                    } else {
+                        di += 1;
+                        next_act = act.next();
+                        (d, true)
+                    }
+                }
+            };
+
+            if self.state.exit_tick[v as usize] == t {
+                self.progress_node(v, t, events);
+                continue;
+            }
+            if !from_active {
+                // Stale bucket entry off the frontier: λ ≡ 0.
+                continue;
+            }
+            self.transmit_node(v, t, scratch, events, edges_scanned);
+        }
     }
 
     /// Run the simulation to completion.
     pub fn run(&mut self) -> SimResult {
         let ns = self.model.n_states();
         let mut output = SimOutput::default();
+        if self.state.health_epoch() != self.seen_health_epoch {
+            self.rebuild_frontier();
+        }
         self.seed_infections(&mut output);
         // Occupancy from the actual post-seeding health states (the
         // transition log may be disabled, so it cannot be the source).
@@ -456,6 +840,12 @@ impl Simulation {
         // memory model (EpiHiper buffers its transition log), counted
         // whether or not the log is retained in `output`.
         let mut cum_transitions: u64 = recent.len() as u64;
+        let mut stats = EngineStats::default();
+        // Per-tick aggregation rows, allocated once and re-zeroed by
+        // replaying the tick's events (cheaper than a dense fill when
+        // events are sparse).
+        let mut new_row = vec![0u32; ns];
+        let mut county_row = vec![vec![0u32; ns]; self.n_counties];
 
         for t in 0..self.config.ticks {
             // 1. Interventions.
@@ -470,21 +860,41 @@ impl Simulation {
                 };
                 self.interventions.apply(&mut ctx);
             }
+            // External health writes invalidate the frontier index and
+            // the occupancy counters; rebuild both (in either scan
+            // mode, so outputs stay identical).
+            if self.state.health_epoch() != self.seen_health_epoch {
+                self.rebuild_frontier();
+                occupancy.fill(0);
+                for &h in &self.state.health {
+                    occupancy[h as usize] += 1;
+                }
+            }
 
-            // 2. Parallel scan.
-            let per_partition: Vec<Vec<Event>> = self
-                .partitioning
-                .ranges
-                .par_iter()
-                .map(|range| self.scan_partition(range, t))
-                .collect();
+            // 2. Parallel scan into the per-partition workspaces.
+            let mut wss = std::mem::take(&mut self.workspaces);
+            for ws in &mut wss {
+                ws.events.clear();
+                ws.edges_scanned = 0;
+                self.buckets.take_into(ws.part, t, &mut ws.due);
+            }
+            stats.frontier_nodes.push(self.active.len() as u32);
+            stats.due_nodes.push(wss.iter().map(|w| w.due.len() as u32).sum());
+            let reference = self.config.reference_scan;
+            wss.par_iter_mut().for_each(|ws| {
+                if reference {
+                    self.scan_partition_reference(ws, t);
+                } else {
+                    self.scan_partition_frontier(ws, t);
+                }
+            });
+            stats.edges_scanned.push(wss.iter().map(|w| w.edges_scanned).sum());
 
             // 3. Serial apply, in node order (ranges are sorted).
-            let mut new_row = vec![0u32; ns];
-            let mut county_row = vec![vec![0u32; ns]; self.n_counties];
             recent.clear();
-            for events in &per_partition {
-                for ev in events {
+            let mut n_events = 0u32;
+            for ws in &wss {
+                for ev in &ws.events {
                     let vi = ev.node as usize;
                     let old = self.state.health[vi];
                     occupancy[old as usize] -= 1;
@@ -492,6 +902,10 @@ impl Simulation {
                     self.state.health[vi] = ev.new_state;
                     self.state.exit_tick[vi] = ev.exit_tick;
                     self.state.next_state[vi] = ev.next_state;
+                    if ev.exit_tick != NEVER {
+                        self.buckets.push(self.part_of[vi] as usize, ev.exit_tick, ev.node);
+                    }
+                    self.note_health_change(ev.node, old, ev.new_state);
                     new_row[ev.new_state as usize] += 1;
                     county_row[self.county[vi] as usize][ev.new_state as usize] += 1;
                     let rec = TransitionRecord {
@@ -504,21 +918,32 @@ impl Simulation {
                     if self.config.record_transitions {
                         output.transitions.push(rec);
                     }
+                    n_events += 1;
                 }
             }
+            stats.events.push(n_events);
 
             cum_transitions += recent.len() as u64;
-            output.new_counts.push(new_row);
+            output.new_counts.push(new_row.clone());
             output.current_counts.push(occupancy.clone());
-            output.county_new.push(county_row);
+            output.county_new.push(county_row.clone());
+            // Re-zero the reused rows by replaying the touched cells.
+            for ws in &wss {
+                for ev in &ws.events {
+                    new_row[ev.new_state as usize] = 0;
+                    county_row[self.county[ev.node as usize] as usize][ev.new_state as usize] = 0;
+                }
+            }
+            self.workspaces = wss;
             output.memory_bytes.push(
                 self.net.static_memory_bytes()
                     + self.state.dynamic_memory_bytes()
+                    + self.frontier_memory_bytes()
                     + cum_transitions * 24,
             );
         }
 
-        SimResult { output, elapsed: started.elapsed(), ticks_run: self.config.ticks }
+        SimResult { output, elapsed: started.elapsed(), ticks_run: self.config.ticks, stats }
     }
 }
 
@@ -526,7 +951,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::disease::sir_model;
-    use crate::interventions::InterventionSet;
+    use crate::interventions::{Intervention, InterventionSet};
     use epiflow_synthpop::network::ContactEdge;
     use epiflow_synthpop::ActivityType;
 
@@ -558,6 +983,24 @@ mod tests {
             InterventionSet::default(),
             cfg,
         )
+    }
+
+    /// Frontier and reference scans must agree byte-for-byte on every
+    /// output series, across partition counts.
+    fn assert_modes_equal(net: &ContactNetwork, beta: f64, base: SimConfig) {
+        for parts in [1usize, 4, 13] {
+            let cfg = SimConfig { n_partitions: parts, ..base.clone() };
+            let fr = sim_on(net, beta, SimConfig { reference_scan: false, ..cfg.clone() }).run();
+            let rf = sim_on(net, beta, SimConfig { reference_scan: true, ..cfg }).run();
+            assert_eq!(
+                fr.output.transitions, rf.output.transitions,
+                "transition logs diverge at {parts} partitions"
+            );
+            assert_eq!(fr.output.new_counts, rf.output.new_counts);
+            assert_eq!(fr.output.current_counts, rf.output.current_counts);
+            assert_eq!(fr.output.county_new, rf.output.county_new);
+            assert_eq!(fr.output.memory_bytes, rf.output.memory_bytes);
+        }
     }
 
     #[test]
@@ -601,6 +1044,239 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(b, c);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn frontier_equals_reference_dense() {
+        let net = dense_network(50);
+        assert_modes_equal(
+            &net,
+            1.5,
+            SimConfig { ticks: 40, seed: 99, initial_infections: 4, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn frontier_equals_reference_sparse_ring() {
+        // Ring with chords: long low-occupancy epidemic tail.
+        let n = 400u32;
+        let mut edges: Vec<ContactEdge> = (0..n)
+            .map(|i| ContactEdge {
+                u: i,
+                v: (i + 1) % n,
+                start: 0,
+                duration: 600,
+                ctx_u: ActivityType::Home,
+                ctx_v: ActivityType::Home,
+                weight: 1.0,
+            })
+            .collect();
+        for i in (0..n).step_by(17) {
+            edges.push(ContactEdge {
+                u: i,
+                v: (i + n / 2) % n,
+                start: 0,
+                duration: 300,
+                ctx_u: ActivityType::Work,
+                ctx_v: ActivityType::Work,
+                weight: 0.7,
+            });
+        }
+        let net = ContactNetwork { n_nodes: n as usize, edges };
+        assert_modes_equal(
+            &net,
+            2.5,
+            SimConfig { ticks: 80, seed: 7, initial_infections: 2, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn frontier_equals_reference_disconnected() {
+        // Two cliques plus isolated nodes; frontier never reaches the
+        // far component unless a seed lands there.
+        let mut edges = Vec::new();
+        for base in [0u32, 12] {
+            for u in 0..10u32 {
+                for v in (u + 1)..10 {
+                    edges.push(ContactEdge {
+                        u: base + u,
+                        v: base + v,
+                        start: 0,
+                        duration: 480,
+                        ctx_u: ActivityType::Work,
+                        ctx_v: ActivityType::Work,
+                        weight: 1.0,
+                    });
+                }
+            }
+        }
+        let net = ContactNetwork { n_nodes: 25, edges };
+        for seed in [1u64, 5, 9] {
+            assert_modes_equal(
+                &net,
+                2.0,
+                SimConfig { ticks: 50, seed, initial_infections: 3, ..Default::default() },
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_equals_reference_under_interventions() {
+        // Edge flips and scale changes mid-run must not strand frontier
+        // nodes: disabling the only infectious contact and re-enabling
+        // it later has to produce the same infections in both modes.
+        struct Flipper;
+        impl Intervention for Flipper {
+            fn name(&self) -> &str {
+                "flipper"
+            }
+            fn apply(&mut self, ctx: &mut InterventionCtx<'_>) {
+                match ctx.tick {
+                    3 => {
+                        // Disable a band of edges and mute a band of nodes.
+                        for e in 0..200u32 {
+                            ctx.state.set_edge_enabled(e, false);
+                        }
+                        for v in 0..20u32 {
+                            ctx.state.infectivity_scale[v as usize] = 0.0;
+                            ctx.state.susceptibility_scale[v as usize] = 0.0;
+                        }
+                    }
+                    9 => {
+                        for e in 0..200u32 {
+                            ctx.state.set_edge_enabled(e, true);
+                        }
+                        for v in 0..20u32 {
+                            ctx.state.infectivity_scale[v as usize] = 1.0;
+                            ctx.state.susceptibility_scale[v as usize] = 1.0;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let net = dense_network(40);
+        let mk = |reference| {
+            let n = net.n_nodes;
+            let mut sim = Simulation::new(
+                &net,
+                sir_model(1.8, 5.0),
+                vec![2; n],
+                vec![0; n],
+                InterventionSet::new().with(Box::new(Flipper)),
+                SimConfig {
+                    ticks: 50,
+                    seed: 21,
+                    initial_infections: 3,
+                    reference_scan: reference,
+                    ..Default::default()
+                },
+            );
+            sim.run().output
+        };
+        let fr = mk(false);
+        let rf = mk(true);
+        assert_eq!(fr.transitions, rf.transitions);
+        assert_eq!(fr.current_counts, rf.current_counts);
+        assert!(fr.total_infections() > 0, "epidemic should restart after re-enable");
+    }
+
+    #[test]
+    fn external_health_writes_rebuild_frontier() {
+        // An intervention teleporting nodes into the infectious state
+        // via SimState::set_health must infect their neighbors in both
+        // modes (the epoch check rebuilds the frontier index).
+        struct Teleport;
+        impl Intervention for Teleport {
+            fn name(&self) -> &str {
+                "teleport"
+            }
+            fn apply(&mut self, ctx: &mut InterventionCtx<'_>) {
+                if ctx.tick == 5 {
+                    for v in 30..34u32 {
+                        ctx.state.set_health(v, 1); // I in the SIR model
+                    }
+                }
+            }
+        }
+        let net = dense_network(40);
+        let mk = |reference| {
+            let n = net.n_nodes;
+            let mut sim = Simulation::new(
+                &net,
+                sir_model(1.5, 5.0),
+                vec![2; n],
+                vec![0; n],
+                InterventionSet::new().with(Box::new(Teleport)),
+                SimConfig {
+                    ticks: 30,
+                    seed: 3,
+                    initial_infections: 0,
+                    reference_scan: reference,
+                    ..Default::default()
+                },
+            );
+            sim.run().output
+        };
+        let fr = mk(false);
+        let rf = mk(true);
+        assert_eq!(fr.transitions, rf.transitions);
+        assert_eq!(fr.current_counts, rf.current_counts);
+        assert!(
+            fr.total_infections() > 0,
+            "teleported infectious nodes must infect their neighbors"
+        );
+    }
+
+    #[test]
+    fn seeding_shortfall_is_recorded() {
+        // Pre-infect most of the population so the seeding loop cannot
+        // find enough susceptible nodes and its guard bound trips.
+        let net = dense_network(6);
+        let mut sim =
+            sim_on(&net, 0.0, SimConfig { ticks: 2, initial_infections: 6, ..Default::default() });
+        for v in 0..5u32 {
+            sim.state.set_health(v, 2); // recovered: not seedable
+        }
+        let res = sim.run();
+        assert_eq!(res.output.requested_seeds, 6);
+        assert_eq!(res.output.seeded, 1);
+        assert_eq!(res.output.seed_shortfall(), 5);
+    }
+
+    #[test]
+    fn stats_show_frontier_savings() {
+        // β = 0: seeds recover without spreading, so susceptible nodes
+        // remain for the reference scan to keep visiting after the
+        // frontier has emptied.
+        let net = dense_network(50);
+        let base = SimConfig { ticks: 40, seed: 99, initial_infections: 4, ..Default::default() };
+        let fr = sim_on(&net, 0.0, SimConfig { reference_scan: false, ..base.clone() }).run();
+        let rf = sim_on(&net, 0.0, SimConfig { reference_scan: true, ..base }).run();
+        assert_eq!(fr.stats.frontier_nodes.len(), 40);
+        assert_eq!(fr.stats.edges_scanned.len(), 40);
+        assert!(
+            fr.stats.total_edges_scanned() <= rf.stats.total_edges_scanned(),
+            "frontier λ-pass can never examine more edges than the reference"
+        );
+        // Once the epidemic dies out the frontier empties; the
+        // reference keeps paying for every susceptible node.
+        assert_eq!(*fr.stats.edges_scanned.last().unwrap(), 0);
+        assert!(*rf.stats.edges_scanned.last().unwrap() > 0);
+        let occ = fr.stats.mean_frontier_occupancy(net.n_nodes);
+        assert!((0.0..=1.0).contains(&occ));
+    }
+
+    #[test]
+    fn far_future_progressions_do_not_leak() {
+        // A progression scheduled beyond the horizon stays queued and
+        // harmless; queued() reflects it.
+        let net = dense_network(10);
+        let mut sim =
+            sim_on(&net, 0.0, SimConfig { ticks: 3, initial_infections: 2, ..Default::default() });
+        sim.run();
+        // SIR dwell is ~5 days; with 3 ticks the I→R exits are pending.
+        assert!(sim.buckets.queued() > 0);
     }
 
     #[test]
@@ -744,6 +1420,8 @@ mod tests {
             for e in rt.in_edges(v) {
                 assert_ne!(e.neighbor, v);
                 assert!((e.duration_frac - 1.0 / 3.0).abs() < 1e-6);
+                // tw is the exact f64 product of the f32 factors.
+                assert_eq!(e.tw, e.duration_frac as f64 * e.weight as f64);
             }
         }
     }
@@ -765,5 +1443,8 @@ mod tests {
         let res = sim.run();
         let seeds = res.output.transitions.iter().filter(|t| t.tick == 0).count();
         assert_eq!(seeds, 5);
+        assert_eq!(res.output.requested_seeds, 5);
+        assert_eq!(res.output.seeded, 5);
+        assert_eq!(res.output.seed_shortfall(), 0);
     }
 }

@@ -180,6 +180,10 @@ pub enum Operation {
     ScaleSusceptibility { factor: f32 },
     /// Scale the target's infectivity (e.g. masking).
     ScaleInfectivity { factor: f32 },
+    /// Force the target into a health state (e.g. importation or
+    /// scenario what-ifs). Goes through [`SimState::set_health`] so the
+    /// engine rebuilds its frontier index before the next scan.
+    SetHealth { to: StateId },
     /// Close an activity context globally (once per firing).
     CloseContext { ctx: ActivityType },
     /// Reopen an activity context globally (once per firing).
@@ -217,6 +221,7 @@ impl Operation {
                 state.infectivity_scale[node as usize] *= factor;
                 state.scheduled_changes += 1;
             }
+            Operation::SetHealth { to } => state.set_health(node, *to),
             _ => {}
         }
     }
@@ -936,6 +941,30 @@ mod tests {
         let json = serde_json::to_string(&gi).unwrap();
         let back: GenericIntervention = serde_json::from_str(&json).unwrap();
         assert_eq!(back, gi);
+    }
+
+    #[test]
+    fn set_health_operation_imports_cases() {
+        // A case importation at tick 4 via SetHealth must be picked up
+        // by the engine (frontier rebuild) and seed an epidemic.
+        let net = work_clique(30);
+        let n = net.n_nodes;
+        let gi = GenericIntervention::new(
+            "import",
+            Trigger::AtTick { tick: 4 },
+            Target::Node { node: 3 },
+            vec![Operation::SetHealth { to: 1 }],
+        );
+        let mut sim = Simulation::new(
+            &net,
+            sir_model(2.0, 5.0),
+            vec![2; n],
+            vec![0; n],
+            InterventionSet::new().with(Box::new(gi)),
+            SimConfig { ticks: 40, seed: 8, initial_infections: 0, ..Default::default() },
+        );
+        let res = sim.run();
+        assert!(res.output.total_infections() > 0, "imported case must spread");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`engine`] — the parallel tick loop: partitions execute on rayon
 //!   threads (standing in for MPI ranks) with a barrier per tick;
 //!   per-(node, tick) counter-based RNG makes results *independent of
-//!   thread count*.
+//!   thread count*. The default scan is frontier-based: per-tick cost
+//!   follows the epidemic, not the network.
+//! * [`frontier`] — the active-set bitset and tick-bucket progression
+//!   queues behind the frontier scan.
 //! * [`output`] — transition logs, dendograms (transmission forests),
 //!   and per-tick aggregate counters, plus the memory-accounting model
 //!   behind Fig. 10.
@@ -30,6 +33,7 @@
 pub mod covid;
 pub mod disease;
 pub mod engine;
+pub mod frontier;
 pub mod interventions;
 pub mod output;
 pub mod partition;
@@ -38,7 +42,8 @@ pub mod state;
 
 pub use covid::covid19_model;
 pub use disease::{DiseaseModel, DwellTime, Progression, StateId, Transmission};
-pub use engine::{SimConfig, SimResult, Simulation};
+pub use engine::{EngineStats, SimConfig, SimResult, Simulation};
+pub use frontier::{ActiveSet, TickBuckets};
 pub use interventions::{Intervention, InterventionSet};
 pub use output::{DendogramStats, SimOutput, TransitionRecord};
 pub use partition::{partition_network, Partitioning};

@@ -49,9 +49,24 @@ pub struct SimOutput {
     pub county_new: Vec<Vec<Vec<u32>>>,
     /// Estimated resident memory (bytes) at each tick (Fig. 10).
     pub memory_bytes: Vec<u64>,
+    /// Tick-0 seeds the configuration asked for (after capping at the
+    /// population size).
+    pub requested_seeds: u32,
+    /// Tick-0 seeds actually placed. The seeding loop draws random
+    /// nodes under a guard bound; if it exhausts the bound before
+    /// placing `requested_seeds` infections, the run proceeds with
+    /// fewer — previously silently, now recorded here.
+    pub seeded: u32,
 }
 
 impl SimOutput {
+    /// How many requested tick-0 seeds could not be placed (0 in the
+    /// overwhelming majority of runs; non-zero when the seeding guard
+    /// loop gave up, e.g. because most of the population was already
+    /// non-susceptible).
+    pub fn seed_shortfall(&self) -> u32 {
+        self.requested_seeds.saturating_sub(self.seeded)
+    }
     /// Cumulative counts into `state` over time.
     pub fn cumulative(&self, state: StateId) -> Vec<u64> {
         let mut acc = 0u64;
@@ -207,6 +222,7 @@ mod tests {
             current_counts: vec![vec![0; 3]; 4],
             county_new: vec![vec![vec![0; 3]; 1]; 4],
             memory_bytes: vec![0; 4],
+            ..Default::default()
         }
     }
 
@@ -261,5 +277,17 @@ mod tests {
         assert_eq!(d, DendogramStats::default());
         assert_eq!(o.total_infections(), 0);
         assert_eq!(o.n_ticks(), 0);
+        assert_eq!(o.seed_shortfall(), 0);
+    }
+
+    #[test]
+    fn seed_shortfall_arithmetic() {
+        let mut o = SimOutput { requested_seeds: 10, seeded: 7, ..Default::default() };
+        assert_eq!(o.seed_shortfall(), 3);
+        o.seeded = 10;
+        assert_eq!(o.seed_shortfall(), 0);
+        // Defensive: seeded > requested must not underflow.
+        o.seeded = 12;
+        assert_eq!(o.seed_shortfall(), 0);
     }
 }

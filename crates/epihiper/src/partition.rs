@@ -55,6 +55,21 @@ impl Partitioning {
         }
     }
 
+    /// Dense node → partition-index map. The engine's apply phase
+    /// pushes every scheduled progression into its owner's tick-bucket
+    /// queue; an O(1) array lookup there beats a binary search per
+    /// event ([`Partitioning::partition_of`]) on the hot path.
+    pub fn index_map(&self) -> Vec<u32> {
+        let n = self.ranges.last().map_or(0, |r| r.end) as usize;
+        let mut map = vec![0u32; n];
+        for (k, r) in self.ranges.iter().enumerate() {
+            for v in r.clone() {
+                map[v as usize] = k as u32;
+            }
+        }
+        map
+    }
+
     /// Load imbalance: max partition edge count over the mean.
     pub fn imbalance(&self) -> f64 {
         if self.edge_counts.is_empty() {
@@ -233,6 +248,17 @@ mod tests {
         for v in 0..100u32 {
             let part = p.partition_of(v);
             assert!(p.ranges[part].contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_map_agrees_with_partition_of() {
+        let net = path_network(237);
+        let p = partition_network(&net, 5, 0);
+        let map = p.index_map();
+        assert_eq!(map.len(), 237);
+        for v in 0..237u32 {
+            assert_eq!(map[v as usize] as usize, p.partition_of(v));
         }
     }
 

@@ -74,6 +74,16 @@ impl MpiCostModel {
         self.per_edge_secs = measured_secs / (directed_edges as f64 * ticks as f64);
         self
     }
+
+    /// Calibrate `per_edge_secs` from a frontier-mode run, where the
+    /// engine reports exactly how many in-edges its λ pass examined
+    /// (`EngineStats::total_edges_scanned`) instead of assuming the
+    /// full `directed_edges × ticks` sweep the reference scan pays.
+    pub fn calibrate_per_edge_scanned(mut self, measured_secs: f64, edges_scanned: u64) -> Self {
+        assert!(edges_scanned > 0);
+        self.per_edge_secs = measured_secs / edges_scanned as f64;
+        self
+    }
 }
 
 /// Per-partition (in-edge count, node count, ghost in-edge count) for a
@@ -111,6 +121,33 @@ pub fn projected_tick_secs(profile: &[(usize, usize, usize)], model: &MpiCostMod
         model.barrier_secs * (p + 1.0).ln()
             + model.per_rank_secs * p
             + max_ghost * model.per_ghost_edge_secs
+    } else {
+        0.0
+    };
+    compute + comm
+}
+
+/// Projected seconds for one *frontier-mode* tick: the compute term
+/// scales by the frontier occupancy (fraction of nodes with infectious
+/// in-neighbors, `EngineStats::mean_frontier_occupancy`), while the
+/// barrier and exchange terms are unchanged — per-tick synchronization
+/// does not shrink with the epidemic, which is why frontier scanning
+/// improves compute-bound runs much more than latency-bound ones.
+pub fn projected_frontier_tick_secs(
+    profile: &[(usize, usize, usize)],
+    occupancy: f64,
+    model: &MpiCostModel,
+) -> f64 {
+    let occupancy = occupancy.clamp(0.0, 1.0);
+    let p = profile.len().max(1) as f64;
+    let max_edges = profile.iter().map(|x| x.0).max().unwrap_or(0) as f64;
+    let max_nodes = profile.iter().map(|x| x.1).max().unwrap_or(0) as f64;
+    let max_ghost = profile.iter().map(|x| x.2).max().unwrap_or(0) as f64;
+    let compute = (max_edges * model.per_edge_secs + max_nodes * model.per_node_secs) * occupancy;
+    let comm = if profile.len() > 1 {
+        model.barrier_secs * (p + 1.0).ln()
+            + model.per_rank_secs * p
+            + max_ghost * model.per_ghost_edge_secs * occupancy
     } else {
         0.0
     };
@@ -269,6 +306,30 @@ mod tests {
     fn calibration_sets_per_edge() {
         let model = MpiCostModel::default().calibrate_per_edge(2.0, 1_000_000, 100);
         assert!((model.per_edge_secs - 2e-8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn calibration_from_edges_scanned() {
+        let model = MpiCostModel::default().calibrate_per_edge_scanned(1.0, 50_000_000);
+        assert!((model.per_edge_secs - 2e-8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frontier_projection_interpolates() {
+        let net = ring(10_000);
+        let parts = partition_network(&net, 8, 0);
+        let profile = partition_profile(&net, &parts);
+        let model = MpiCostModel::default();
+        let full = projected_tick_secs(&profile, &model);
+        let at_full = projected_frontier_tick_secs(&profile, 1.0, &model);
+        let at_tenth = projected_frontier_tick_secs(&profile, 0.1, &model);
+        let at_zero = projected_frontier_tick_secs(&profile, 0.0, &model);
+        assert!((at_full - full).abs() < 1e-12, "occupancy 1 matches the dense model");
+        assert!(at_zero < at_tenth && at_tenth < at_full);
+        // Communication floor survives an empty frontier.
+        assert!(at_zero > 0.0);
+        // Out-of-range occupancy clamps instead of extrapolating.
+        assert_eq!(projected_frontier_tick_secs(&profile, 1.7, &model), at_full);
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct SimState {
     /// Cumulative count of scheduled system-state changes — the driver
     /// of the Fig.-10 memory growth model.
     pub scheduled_changes: u64,
+    /// Monotone counter of *external* health writes (see
+    /// [`SimState::set_health`]). The engine snapshots this and
+    /// rebuilds its frontier index and occupancy counters whenever it
+    /// advances, so interventions that rewrite health states stay
+    /// consistent with the frontier scan.
+    health_epoch: u64,
 }
 
 impl SimState {
@@ -79,12 +85,35 @@ impl SimState {
             n_edges,
             variables: HashMap::new(),
             scheduled_changes: 0,
+            health_epoch: 0,
         }
     }
 
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.health.len()
+    }
+
+    /// Write a node's health state from *outside* the engine's tick
+    /// loop (interventions, test setup). Unlike a direct store into
+    /// [`SimState::health`], this bumps [`SimState::health_epoch`] so
+    /// the engine knows to rebuild its infectious-neighbor counts and
+    /// occupancy before the next scan. Scheduled progressions
+    /// (`exit_tick`/`next_state`) are intentionally untouched: they
+    /// fire regardless of the current health state, exactly as the
+    /// reference scan does.
+    pub fn set_health(&mut self, node: u32, to: StateId) {
+        let slot = &mut self.health[node as usize];
+        if *slot != to {
+            *slot = to;
+            self.health_epoch += 1;
+            self.scheduled_changes += 1;
+        }
+    }
+
+    /// Epoch counter advanced by [`SimState::set_health`].
+    pub fn health_epoch(&self) -> u64 {
+        self.health_epoch
     }
 
     /// Is the per-edge enable bit set?
@@ -347,6 +376,19 @@ mod tests {
             s.isolate(i % 100, 10 + i);
         }
         assert!(s.dynamic_memory_bytes() > before);
+    }
+
+    #[test]
+    fn set_health_bumps_epoch_only_on_change() {
+        let mut s = SimState::new(3, 1, 0);
+        assert_eq!(s.health_epoch(), 0);
+        s.set_health(1, 2);
+        assert_eq!(s.health[1], 2);
+        assert_eq!(s.health_epoch(), 1);
+        s.set_health(1, 2); // no-op write
+        assert_eq!(s.health_epoch(), 1);
+        s.set_health(1, 0);
+        assert_eq!(s.health_epoch(), 2);
     }
 
     #[test]

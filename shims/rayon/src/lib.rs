@@ -1,6 +1,7 @@
 //! Offline shim for the subset of the `rayon` API used by this
-//! workspace: `slice.par_iter().map(f).collect::<Vec<_>>()` and
-//! `collection.into_par_iter().map(f).collect::<Vec<_>>()`.
+//! workspace: `slice.par_iter().map(f).collect::<Vec<_>>()`,
+//! `collection.into_par_iter().map(f).collect::<Vec<_>>()`, and
+//! `slice.par_iter_mut().for_each(f)`.
 //!
 //! The build container has no registry access, so this crate provides
 //! a genuinely parallel implementation on `std::thread::scope`: the
@@ -122,6 +123,72 @@ impl<T: Send, F> ParItemsMap<T, F> {
     }
 }
 
+/// Exclusive parallel iterator over a mutable slice (`par_iter_mut`).
+///
+/// Used by the epihiper engine to let each worker fill its own
+/// partition workspace (events, Gillespie scratch) in place, so the
+/// per-tick scan reuses allocations instead of collecting fresh
+/// vectors.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Apply `f` to every element, in parallel, like rayon's
+    /// `IndexedParallelIterator::for_each`.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.slice.len();
+        let workers = worker_count(n);
+        if workers <= 1 {
+            for x in self.slice.iter_mut() {
+                f(x);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks_mut(chunk)
+                .map(|c| {
+                    s.spawn(move || {
+                        for x in c {
+                            f(x);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("rayon-shim worker panicked");
+            }
+        });
+    }
+}
+
+/// `.par_iter_mut()` on borrowed collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
 /// `.par_iter()` on borrowed collections.
 pub trait IntoParallelRefIterator<'a> {
     type Item: 'a;
@@ -169,7 +236,7 @@ macro_rules! impl_into_par_range {
 impl_into_par_range!(u32, u64, usize, i32, i64);
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]
@@ -191,6 +258,18 @@ mod tests {
         let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * x).collect();
         assert_eq!(squares[31], 961);
         assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut xs: Vec<u64> = (0..10_000).collect();
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1);
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        assert!(empty.is_empty());
     }
 
     #[test]

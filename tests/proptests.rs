@@ -1,7 +1,9 @@
 //! Property-based tests over the core invariants, spanning crates.
 
 use epiflow::core::CombinedWorkflow;
-use epiflow::epihiper::engine::CounterRng;
+use epiflow::epihiper::disease::sir_model;
+use epiflow::epihiper::engine::{CounterRng, SimConfig, SimResult, Simulation};
+use epiflow::epihiper::interventions::InterventionSet;
 use epiflow::epihiper::partition::partition_network;
 use epiflow::hpcsim::cluster::ClusterSpec;
 use epiflow::hpcsim::cluster::Site;
@@ -44,6 +46,27 @@ fn arb_edges(max_nodes: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
         let edges = prop::collection::vec((0..n, 0..n), 0..200);
         (Just(n), edges)
     })
+}
+
+/// Run an SIR simulation on `net` in the given scan mode.
+fn run_epi(net: &ContactNetwork, beta: f64, seed: u64, parts: usize, reference: bool) -> SimResult {
+    let n = net.n_nodes;
+    let mut sim = Simulation::new(
+        net,
+        sir_model(beta, 5.0),
+        vec![2; n],
+        vec![0; n],
+        InterventionSet::default(),
+        SimConfig {
+            ticks: 30,
+            seed,
+            n_partitions: parts,
+            initial_infections: 3,
+            reference_scan: reference,
+            ..Default::default()
+        },
+    );
+    sim.run()
 }
 
 fn make_network(n: u32, pairs: &[(u32, u32)]) -> ContactNetwork {
@@ -165,6 +188,49 @@ proptest! {
                     "journaled step {} was re-executed on resume", s
                 );
             }
+        }
+    }
+
+    /// The frontier scan is byte-identical to the reference full-range
+    /// scan on arbitrary sparse/disconnected networks, across seeds and
+    /// partition counts, and never examines more λ-pass edges.
+    #[test]
+    fn frontier_scan_equals_reference_sparse(
+        (n, pairs) in arb_edges(300),
+        seed in any::<u64>(),
+        beta in 0.0f64..3.0,
+    ) {
+        let net = make_network(n, &pairs);
+        for parts in [1usize, 4, 13] {
+            let fr = run_epi(&net, beta, seed, parts, false);
+            let rf = run_epi(&net, beta, seed, parts, true);
+            prop_assert_eq!(
+                &fr.output.transitions, &rf.output.transitions,
+                "transition logs diverge at {} partitions", parts
+            );
+            prop_assert_eq!(&fr.output.new_counts, &rf.output.new_counts);
+            prop_assert_eq!(&fr.output.current_counts, &rf.output.current_counts);
+            prop_assert_eq!(&fr.output.memory_bytes, &rf.output.memory_bytes);
+            prop_assert!(
+                fr.stats.total_edges_scanned() <= rf.stats.total_edges_scanned()
+            );
+        }
+    }
+
+    /// Same equivalence on small dense networks, where the frontier
+    /// covers most of the graph (the worst case for the merge scan).
+    #[test]
+    fn frontier_scan_equals_reference_dense(
+        (n, pairs) in arb_edges(16),
+        seed in any::<u64>(),
+        beta in 0.5f64..3.0,
+    ) {
+        let net = make_network(n, &pairs);
+        for parts in [1usize, 4, 13] {
+            let fr = run_epi(&net, beta, seed, parts, false);
+            let rf = run_epi(&net, beta, seed, parts, true);
+            prop_assert_eq!(&fr.output.transitions, &rf.output.transitions);
+            prop_assert_eq!(&fr.output.current_counts, &rf.output.current_counts);
         }
     }
 
