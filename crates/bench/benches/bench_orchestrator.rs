@@ -14,7 +14,8 @@ use epiflow_core::CombinedWorkflow;
 use epiflow_hpcsim::slurm::NodeFailure;
 use epiflow_hpcsim::task::WorkloadSpec;
 use epiflow_orchestrator::{
-    CampaignSpec, DeadlinePolicy, Engine, FailoverPolicy, FaultPlan, LinkFaults, NightlySpec,
+    CampaignSpec, DeadlinePolicy, Engine, FailoverPolicy, FaultPlan, FaultProfile, LinkFaults,
+    NightlySpec,
 };
 use epiflow_surveillance::{RegionRegistry, Scale};
 use std::hint::black_box;
@@ -113,6 +114,7 @@ fn bench_campaign(c: &mut Criterion) {
         intensities: vec![0.0, 0.5, 1.0],
         nights_per_intensity: 4,
         base_seed: 99,
+        profile: FaultProfile::Mixed,
     };
     group.bench_with_input(BenchmarkId::new("run", "3x4-nights"), &spec, |b, spec| {
         b.iter(|| black_box(spec.run().per_intensity.len()))

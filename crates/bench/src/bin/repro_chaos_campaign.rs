@@ -12,13 +12,18 @@
 //! 3. A fault-intensity sweep: many seeded nights per intensity in
 //!    parallel, reporting within-window success rates and the
 //!    failover / hedge / re-route / shed counters per intensity.
+//! 4. A preempt-heavy campaign swept across checkpoint policies: with
+//!    no grace window the snapshot interval (64 / 16 / 4 ticks)
+//!    bounds the recomputation, and with a grace window long enough
+//!    for one final write a preemption loses only that write — not a
+//!    night of work.
 
 use epiflow_core::CombinedWorkflow;
-use epiflow_hpcsim::slurm::NodeFailure;
+use epiflow_hpcsim::slurm::{CheckpointPolicy, NodeFailure};
 use epiflow_hpcsim::task::WorkloadSpec;
 use epiflow_orchestrator::{
-    timeline_text, CampaignSpec, DeadlinePolicy, FailoverPolicy, FaultPlan, Journal, NightlySpec,
-    RunResult,
+    timeline_text, CampaignSpec, DeadlinePolicy, FailoverPolicy, FaultPlan, FaultProfile, Journal,
+    NightlySpec, RunResult,
 };
 use epiflow_surveillance::{RegionRegistry, Scale};
 
@@ -98,6 +103,7 @@ fn main() {
         intensities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
         nights_per_intensity: 16,
         base_seed: 2021,
+        profile: FaultProfile::Mixed,
     };
     let report = spec.run();
     print!("{}", report.table_text());
@@ -108,5 +114,49 @@ fn main() {
     println!(
         "\n(the same campaign re-run is bit-identical for the fixed seed: {})",
         report == spec.run()
+    );
+
+    println!("\n=== Exhibit 4: preempt-heavy nights, checkpoint-policy sweep ===\n");
+    println!(
+        "  {:<16} {:>8} {:>9} {:>9} {:>10}",
+        "policy", "preempt", "lost-nh", "saved-nh", "in-window"
+    );
+    let hard = |n: u32| CheckpointPolicy { grace_secs: 0.0, ..CheckpointPolicy::every(n) };
+    for (label, policy) in [
+        ("off", CheckpointPolicy::default()),
+        ("64, no grace", hard(64)),
+        ("16, no grace", hard(16)),
+        ("4, no grace", hard(4)),
+        ("16 + grace", CheckpointPolicy::every(16)),
+    ] {
+        let spec = CampaignSpec {
+            nightly: NightlySpec {
+                failover: FailoverPolicy::on(),
+                checkpoint: policy,
+                ..NightlySpec::default()
+            },
+            tasks: engine.env.tasks.clone(),
+            region_rows: engine.env.region_rows.clone(),
+            deadline: DeadlinePolicy { shed_cells: true },
+            intensities: vec![1.0],
+            nights_per_intensity: 16,
+            base_seed: 2021,
+            profile: FaultProfile::PreemptHeavy,
+        };
+        let i = &spec.run().per_intensity[0];
+        println!(
+            "  {:<16} {:>8} {:>9.1} {:>9.1} {:>9.0}%",
+            label,
+            i.preemptions,
+            i.node_seconds_lost / 3600.0,
+            i.node_seconds_recovered / 3600.0,
+            i.success_rate * 100.0,
+        );
+    }
+    println!(
+        "\n(node-hours; the fault draw is identical across rows — only the checkpoint\n \
+         policy changes, so lost-nh is the recomputation each policy still pays. With a\n \
+         grace window covering the final snapshot write, a preemption loses only that\n \
+         write; without one, the snapshot interval bounds the loss.)"
     );
 }

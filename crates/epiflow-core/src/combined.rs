@@ -175,6 +175,9 @@ impl CombinedReport {
                 start_times: Vec::new(),
                 preempted: 0,
                 lost_node_secs: 0.0,
+                recovered_node_secs: 0.0,
+                resumes: 0,
+                resume_log: Vec::new(),
             }),
             n_tasks,
             raw_output_bytes: report.raw_output_bytes,

@@ -35,6 +35,7 @@
 //! makes frontier skipping safe (no node's draws depend on whether
 //! another node was visited).
 
+use crate::checkpoint::{SimSnapshot, SnapshotError, SnapshotMeta, SNAPSHOT_VERSION};
 use crate::disease::{DiseaseModel, StateId};
 use crate::frontier::{ActiveSet, TickBuckets};
 use crate::interventions::{InterventionCtx, InterventionSet};
@@ -44,6 +45,7 @@ use crate::state::{SimState, NEVER};
 use epiflow_synthpop::ContactNetwork;
 use rand::{Rng, RngCore};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// Counter-based RNG: a splitmix64 stream keyed by (seed, node, tick).
 ///
@@ -249,7 +251,7 @@ struct Event {
 }
 
 /// Per-tick engine telemetry, one entry per tick.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Frontier size at scan time (nodes with ≥1 infectious-capable
     /// in-neighbor). Recorded in both scan modes.
@@ -280,6 +282,20 @@ impl EngineStats {
             / self.frontier_nodes.len() as f64;
         mean / n_nodes as f64
     }
+}
+
+/// Mid-run continuation state: everything the tick loop accumulates
+/// that is *not* part of [`SimState`] but must survive an interrupt for
+/// the resumed run to be byte-identical — the output series so far, the
+/// previous tick's transitions (consumed by reactive interventions at
+/// the next tick), the cumulative transition count feeding the memory
+/// model, and the per-tick telemetry.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunCarry {
+    pub output: SimOutput,
+    pub recent: Vec<TransitionRecord>,
+    pub cum_transitions: u64,
+    pub stats: EngineStats,
 }
 
 /// Result of a run.
@@ -346,6 +362,13 @@ pub struct Simulation {
     /// intervention (or test harness) wrote health states externally
     /// and the frontier index must be rebuilt.
     seen_health_epoch: u64,
+    /// First tick the next [`Simulation::run`] call executes: 0 for a
+    /// fresh simulation, `config.ticks` after a completed run, the
+    /// snapshot's `next_tick` after [`Simulation::resume`].
+    start_tick: u32,
+    /// Continuation state from the previous `run` call (or the
+    /// snapshot), `None` until the first run.
+    carry: Option<RunCarry>,
 }
 
 impl Simulation {
@@ -406,6 +429,8 @@ impl Simulation {
             part_of,
             workspaces,
             seen_health_epoch: 0,
+            start_tick: 0,
+            carry: None,
         };
         sim.rebuild_frontier();
         sim
@@ -819,15 +844,32 @@ impl Simulation {
         }
     }
 
-    /// Run the simulation to completion.
+    /// Run the simulation from [`Simulation::start_tick`] (0 for a
+    /// fresh simulation) to `config.ticks`. A fresh run seeds at tick
+    /// 0; a resumed run continues the carried output series instead, so
+    /// an interrupted-and-resumed simulation produces byte-identical
+    /// results to an uninterrupted one.
     pub fn run(&mut self) -> SimResult {
         let ns = self.model.n_states();
-        let mut output = SimOutput::default();
-        if self.state.health_epoch() != self.seen_health_epoch {
-            self.rebuild_frontier();
-        }
-        self.seed_infections(&mut output);
-        // Occupancy from the actual post-seeding health states (the
+        let first_tick = self.start_tick;
+        let (mut output, mut recent, mut cum_transitions, mut stats) = match self.carry.take() {
+            Some(c) => (c.output, c.recent, c.cum_transitions, c.stats),
+            None => {
+                let mut output = SimOutput::default();
+                if self.state.health_epoch() != self.seen_health_epoch {
+                    self.rebuild_frontier();
+                }
+                self.seed_infections(&mut output);
+                // Cumulative transitions drive the output-buffer share
+                // of the memory model (EpiHiper buffers its transition
+                // log), counted whether or not the log is retained in
+                // `output`.
+                let recent: Vec<TransitionRecord> = output.transitions.clone();
+                let cum = recent.len() as u64;
+                (output, recent, cum, EngineStats::default())
+            }
+        };
+        // Occupancy from the actual current health states (the
         // transition log may be disabled, so it cannot be the source).
         let mut occupancy = vec![0u32; ns];
         for &h in &self.state.health {
@@ -835,19 +877,13 @@ impl Simulation {
         }
 
         let started = std::time::Instant::now();
-        let mut recent: Vec<TransitionRecord> = output.transitions.clone();
-        // Cumulative transitions drive the output-buffer share of the
-        // memory model (EpiHiper buffers its transition log), counted
-        // whether or not the log is retained in `output`.
-        let mut cum_transitions: u64 = recent.len() as u64;
-        let mut stats = EngineStats::default();
         // Per-tick aggregation rows, allocated once and re-zeroed by
         // replaying the tick's events (cheaper than a dense fill when
         // events are sparse).
         let mut new_row = vec![0u32; ns];
         let mut county_row = vec![vec![0u32; ns]; self.n_counties];
 
-        for t in 0..self.config.ticks {
+        for t in first_tick..self.config.ticks {
             // 1. Interventions.
             {
                 let mut ctx = InterventionCtx {
@@ -943,7 +979,122 @@ impl Simulation {
             );
         }
 
+        // Park the continuation so a later `snapshot()` can capture it
+        // (and a redundant `run()` call replays the same result).
+        self.start_tick = self.config.ticks;
+        self.carry = Some(RunCarry {
+            output: output.clone(),
+            recent,
+            cum_transitions,
+            stats: stats.clone(),
+        });
         SimResult { output, elapsed: started.elapsed(), ticks_run: self.config.ticks, stats }
+    }
+
+    /// Capture a [`SimSnapshot`] of everything needed to resume this
+    /// simulation byte-identically: the authoritative [`SimState`], the
+    /// progression queues (partition-agnostic form), intervention
+    /// trigger state, and the mid-run continuation. The frontier index
+    /// (`ActiveSet`, neighbor counts) and occupancy are deliberately
+    /// *not* captured — they are derived data, rebuilt on restore by
+    /// [`Simulation::rebuild_frontier`]. The RNG needs no state either:
+    /// it is counter-based, keyed by `(seed, node, tick)`, so "RNG
+    /// position" reduces to the tick the resume starts at.
+    ///
+    /// Interrupt protocol: run with `config.ticks = k`, snapshot, then
+    /// [`Simulation::resume`] with `config.ticks = T` continues k..T.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            meta: SnapshotMeta {
+                version: SNAPSHOT_VERSION,
+                next_tick: self.start_tick,
+                seed: self.config.seed,
+                n_nodes: self.net.n_nodes as u64,
+                n_states: self.model.n_states() as u32,
+                record_transitions: self.config.record_transitions,
+            },
+            state: self.state.clone(),
+            queues: self.buckets.export_entries(),
+            interventions: self.interventions.snapshot_states(),
+            carry: self.carry.clone(),
+        }
+    }
+
+    /// Rebuild a simulation from a snapshot. The caller supplies the
+    /// same network, model, demographics, and intervention stack the
+    /// snapshot was taken with (snapshots index into them; they are
+    /// static inputs, not state) — plus the config for the continued
+    /// run, which may change `ticks`, `n_partitions`, and
+    /// `reference_scan` freely without perturbing the epidemic.
+    /// Mismatches that would silently corrupt the resume (different
+    /// seed, node count, state count, edge count, or intervention
+    /// stack) are rejected with [`SnapshotError::Mismatch`].
+    pub fn resume(
+        network: &ContactNetwork,
+        model: DiseaseModel,
+        age_group: Vec<u8>,
+        county: Vec<u16>,
+        interventions: InterventionSet,
+        config: SimConfig,
+        snapshot: &SimSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let meta = &snapshot.meta;
+        if meta.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version(meta.version));
+        }
+        let check =
+            |ok: bool, what: String| if ok { Ok(()) } else { Err(SnapshotError::Mismatch(what)) };
+        check(
+            meta.seed == config.seed,
+            format!("seed: snapshot {} vs config {}", meta.seed, config.seed),
+        )?;
+        check(
+            meta.n_nodes == network.n_nodes as u64,
+            format!("node count: snapshot {} vs network {}", meta.n_nodes, network.n_nodes),
+        )?;
+        check(
+            meta.n_states == model.n_states() as u32,
+            format!("state count: snapshot {} vs model {}", meta.n_states, model.n_states()),
+        )?;
+        check(
+            snapshot.state.n_nodes() == network.n_nodes,
+            format!(
+                "state arrays cover {} nodes, network has {}",
+                snapshot.state.n_nodes(),
+                network.n_nodes
+            ),
+        )?;
+        check(
+            snapshot.state.n_edges() == network.edges.len(),
+            format!(
+                "edge bits cover {} edges, network has {}",
+                snapshot.state.n_edges(),
+                network.edges.len()
+            ),
+        )?;
+        check(
+            meta.next_tick <= config.ticks,
+            format!("next tick {} is past the {}-tick horizon", meta.next_tick, config.ticks),
+        )?;
+        check(
+            meta.record_transitions == config.record_transitions,
+            "record_transitions differs between snapshot and config".to_string(),
+        )?;
+
+        let mut sim = Simulation::new(network, model, age_group, county, interventions, config);
+        sim.state = snapshot.state.clone();
+        for (tick, nodes) in &snapshot.queues {
+            for &v in nodes {
+                sim.buckets.push(sim.part_of[v as usize] as usize, *tick, v);
+            }
+        }
+        sim.interventions
+            .restore_states(&snapshot.interventions)
+            .map_err(SnapshotError::Mismatch)?;
+        sim.rebuild_frontier();
+        sim.start_tick = meta.next_tick;
+        sim.carry = snapshot.carry.clone();
+        Ok(sim)
     }
 }
 
@@ -1446,5 +1597,130 @@ mod tests {
         assert_eq!(res.output.requested_seeds, 5);
         assert_eq!(res.output.seeded, 5);
         assert_eq!(res.output.seed_shortfall(), 0);
+    }
+
+    /// Resume a snapshot of `sim` (round-tripped through the wire
+    /// format) against the same network, under `cfg`.
+    fn resume_sim(net: &ContactNetwork, beta: f64, cfg: SimConfig, sim: &Simulation) -> Simulation {
+        let snap = crate::checkpoint::SimSnapshot::decode(&sim.snapshot().encode())
+            .expect("snapshot survives encode/decode");
+        Simulation::resume(
+            net,
+            sir_model(beta, 5.0),
+            vec![2; net.n_nodes],
+            vec![0; net.n_nodes],
+            InterventionSet::default(),
+            cfg,
+            &snap,
+        )
+        .expect("snapshot matches the simulation it came from")
+    }
+
+    /// The golden invariant: interrupt at any tick, snapshot, resume —
+    /// the completed run is byte-identical to the uninterrupted one,
+    /// even when the resumed run uses a different partition count.
+    #[test]
+    fn ckpt_interrupt_resume_byte_identical() {
+        let net = dense_network(50);
+        for reference_scan in [false, true] {
+            let base = SimConfig {
+                ticks: 40,
+                seed: 99,
+                initial_infections: 4,
+                reference_scan,
+                ..Default::default()
+            };
+            let baseline = sim_on(&net, 1.5, base.clone()).run();
+            for k in [0u32, 1, 17, 39, 40] {
+                let mut interrupted =
+                    sim_on(&net, 1.5, SimConfig { ticks: k, n_partitions: 4, ..base.clone() });
+                interrupted.run();
+                let mut resumed = resume_sim(
+                    &net,
+                    1.5,
+                    SimConfig { n_partitions: 13, ..base.clone() },
+                    &interrupted,
+                );
+                let res = resumed.run();
+                assert_eq!(res.output, baseline.output, "interrupt at {k} diverged");
+                assert_eq!(res.stats, baseline.stats, "stats diverged at {k}");
+                assert_eq!(res.ticks_run, baseline.ticks_run);
+            }
+        }
+    }
+
+    /// Resuming under the *other* scan mode still reproduces the same
+    /// epidemic (the snapshot is scan-mode-agnostic).
+    #[test]
+    fn ckpt_resume_across_scan_modes() {
+        let net = dense_network(40);
+        let base = SimConfig { ticks: 30, seed: 7, initial_infections: 3, ..Default::default() };
+        let baseline = sim_on(&net, 1.2, base.clone()).run();
+        let mut interrupted =
+            sim_on(&net, 1.2, SimConfig { ticks: 11, reference_scan: false, ..base.clone() });
+        interrupted.run();
+        let mut resumed =
+            resume_sim(&net, 1.2, SimConfig { reference_scan: true, ..base }, &interrupted);
+        assert_eq!(resumed.run().output, baseline.output);
+    }
+
+    /// After restore, the rebuilt frontier (active set + per-node
+    /// infectious-neighbor counts) must equal the live frontier of the
+    /// interrupted simulation — exercised on a dense, saturated network
+    /// where nearly every node is on the frontier.
+    #[test]
+    fn ckpt_rebuilt_frontier_matches_live_frontier() {
+        let net = dense_network(60);
+        let base = SimConfig { ticks: 40, seed: 3, initial_infections: 3, ..Default::default() };
+        let mut interrupted = sim_on(&net, 2.0, SimConfig { ticks: 4, ..base.clone() });
+        interrupted.run();
+        let resumed = resume_sim(&net, 2.0, base, &interrupted);
+        assert_eq!(resumed.inf_nbr_count, interrupted.inf_nbr_count);
+        assert!(!resumed.active.is_empty(), "saturated net must have a non-empty frontier");
+        assert_eq!(resumed.active.len(), interrupted.active.len());
+        for v in 0..net.n_nodes as u32 {
+            assert_eq!(resumed.active.contains(v), interrupted.active.contains(v));
+        }
+        assert_eq!(resumed.buckets.queued(), interrupted.buckets.queued());
+    }
+
+    /// Resume refuses snapshots that don't belong to this simulation.
+    #[test]
+    fn ckpt_resume_rejects_mismatches() {
+        use crate::checkpoint::SnapshotError;
+        let net = dense_network(20);
+        let base = SimConfig { ticks: 20, seed: 5, initial_infections: 2, ..Default::default() };
+        let mut sim = sim_on(&net, 1.0, SimConfig { ticks: 8, ..base.clone() });
+        sim.run();
+        let snap = sim.snapshot();
+        let try_resume = |net: &ContactNetwork, cfg: SimConfig, snap: &SimSnapshot| {
+            let n = net.n_nodes;
+            Simulation::resume(
+                net,
+                sir_model(1.0, 5.0),
+                vec![2; n],
+                vec![0; n],
+                InterventionSet::default(),
+                cfg,
+                snap,
+            )
+        };
+        // Wrong seed.
+        let r = try_resume(&net, SimConfig { seed: 6, ..base.clone() }, &snap);
+        assert!(matches!(r, Err(SnapshotError::Mismatch(_))), "wrong seed accepted");
+        // Wrong network size.
+        let other = dense_network(21);
+        let r = try_resume(&other, base.clone(), &snap);
+        assert!(matches!(r, Err(SnapshotError::Mismatch(_))), "wrong network accepted");
+        // Horizon behind the snapshot.
+        let r = try_resume(&net, SimConfig { ticks: 5, ..base.clone() }, &snap);
+        assert!(matches!(r, Err(SnapshotError::Mismatch(_))), "past horizon accepted");
+        // Wrong format version.
+        let mut versioned = snap.clone();
+        versioned.meta.version = SNAPSHOT_VERSION + 1;
+        let r = try_resume(&net, base.clone(), &versioned);
+        assert!(matches!(r, Err(SnapshotError::Version(_))), "future version accepted");
+        // The unmodified snapshot is accepted.
+        assert!(try_resume(&net, base, &snap).is_ok());
     }
 }

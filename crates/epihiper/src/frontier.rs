@@ -271,6 +271,30 @@ impl TickBuckets {
     pub fn queued(&self) -> usize {
         self.queued
     }
+
+    /// Flatten the queues into a partition-agnostic, deterministic
+    /// form: `(tick, nodes)` pairs sorted by tick, nodes sorted within
+    /// each tick with duplicates *preserved*. Duplicates matter only
+    /// for [`TickBuckets::queued`] (the memory model counts them), not
+    /// for the events the drain emits (it dedups) — so re-pushing an
+    /// exported list through each node's owning partition reproduces
+    /// byte-identical behaviour at any partition count.
+    pub fn export_entries(&self) -> Vec<(u32, Vec<u32>)> {
+        let mut merged: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for part in &self.parts {
+            for (&tick, nodes) in part {
+                merged.entry(tick).or_default().extend_from_slice(nodes);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(tick, mut nodes)| {
+                nodes.sort_unstable();
+                (tick, nodes)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +402,29 @@ mod tests {
         b.take_into(0, 6, &mut out);
         assert_eq!(out, vec![1]);
         assert_eq!(b.queued(), 0);
+    }
+
+    #[test]
+    fn ckpt_export_preserves_duplicates_across_partitions() {
+        let mut b = TickBuckets::new(3);
+        b.push(0, 5, 9);
+        b.push(0, 5, 9); // duplicate on the same tick
+        b.push(2, 5, 3);
+        b.push(1, 7, 4);
+        let exported = b.export_entries();
+        assert_eq!(exported, vec![(5, vec![3, 9, 9]), (7, vec![4])]);
+
+        // Re-import into a different partition count: queued() (which
+        // the memory model reads) and drain results both survive.
+        let mut b2 = TickBuckets::new(1);
+        for (tick, nodes) in &exported {
+            for &v in nodes {
+                b2.push(0, *tick, v);
+            }
+        }
+        assert_eq!(b2.queued(), b.queued());
+        let mut out = Vec::new();
+        b2.take_into(0, 5, &mut out);
+        assert_eq!(out, vec![3, 9]);
     }
 }

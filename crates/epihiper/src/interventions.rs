@@ -56,6 +56,17 @@ pub trait Intervention: Send + Sync {
     fn name(&self) -> &str;
     /// Apply at the current tick.
     fn apply(&mut self, ctx: &mut InterventionCtx<'_>);
+    /// Serialize mutable trigger state for a checkpoint. `None` (the
+    /// default) declares the intervention stateless: its behaviour at
+    /// tick `t` depends only on `(t, seed, SimState)`, all of which the
+    /// snapshot already carries.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+    /// Restore trigger state captured by [`Intervention::snapshot_state`].
+    fn restore_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// An ordered set of interventions.
@@ -101,6 +112,38 @@ impl InterventionSet {
         for i in &mut self.items {
             i.apply(ctx);
         }
+    }
+
+    /// Capture each intervention's `(name, trigger state)` for a
+    /// checkpoint, in execution order.
+    pub fn snapshot_states(&self) -> Vec<(String, Option<String>)> {
+        self.items.iter().map(|i| (i.name().to_string(), i.snapshot_state())).collect()
+    }
+
+    /// Restore trigger states captured by
+    /// [`InterventionSet::snapshot_states`]. The caller must supply the
+    /// same intervention stack the snapshot was taken with; count or
+    /// name disagreements are rejected rather than silently misapplied.
+    pub fn restore_states(&mut self, states: &[(String, Option<String>)]) -> Result<(), String> {
+        if states.len() != self.items.len() {
+            return Err(format!(
+                "snapshot has {} intervention states, simulation has {} interventions",
+                states.len(),
+                self.items.len()
+            ));
+        }
+        for (item, (name, state)) in self.items.iter_mut().zip(states) {
+            if item.name() != name {
+                return Err(format!(
+                    "intervention order mismatch: snapshot has `{name}`, simulation has `{}`",
+                    item.name()
+                ));
+            }
+            if let Some(s) = state {
+                item.restore_state(s)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -311,9 +354,30 @@ impl GenericIntervention {
     }
 }
 
+/// The mutable half of a [`GenericIntervention`] — what a checkpoint
+/// must carry to resume `once`/`delay` semantics mid-run.
+#[derive(Serialize, Deserialize)]
+struct GenericTriggerState {
+    fired: bool,
+    pending: Vec<u32>,
+}
+
 impl Intervention for GenericIntervention {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let st = GenericTriggerState { fired: self.fired, pending: self.pending.clone() };
+        Some(serde_json::to_string(&st).expect("trigger state serializes"))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let st: GenericTriggerState = serde_json::from_str(state)
+            .map_err(|e| format!("bad GenericIntervention state: {e}"))?;
+        self.fired = st.fired;
+        self.pending = st.pending;
+        Ok(())
     }
 
     fn apply(&mut self, ctx: &mut InterventionCtx<'_>) {
@@ -387,6 +451,22 @@ impl StayAtHome {
 impl Intervention for StayAtHome {
     fn name(&self) -> &str {
         "SH"
+    }
+
+    // `initialized` is load-bearing for resume: replaying the one-time
+    // compliance sampling would re-run `set_flag` over the population
+    // and bump `scheduled_changes`, diverging the memory-model series.
+    fn snapshot_state(&self) -> Option<String> {
+        Some(if self.initialized { "1" } else { "0" }.to_string())
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        match state {
+            "1" => self.initialized = true,
+            "0" => self.initialized = false,
+            other => return Err(format!("bad StayAtHome state `{other}`")),
+        }
+        Ok(())
     }
 
     fn apply(&mut self, ctx: &mut InterventionCtx<'_>) {
@@ -971,5 +1051,87 @@ mod tests {
     fn base_case_stack_has_three() {
         let set = base_case(states::SYMPTOMATIC, 16, 31, 70, 0.8, 0.6);
         assert_eq!(set.names(), vec!["VHI", "SC", "SH"]);
+    }
+
+    #[test]
+    fn ckpt_generic_trigger_state_round_trips() {
+        let net = work_clique(4);
+        let rt = RuntimeNet::build(&net);
+        let model = sir_model(0.5, 5.0);
+        let mut st = SimState::new(4, net.edges.len(), 0);
+        let mut gi = GenericIntervention {
+            once: true,
+            delay: 5,
+            ..GenericIntervention::new(
+                "delayed",
+                Trigger::AtTick { tick: 2 },
+                Target::AllNodes,
+                vec![Operation::CloseContext { ctx: ActivityType::Work }],
+            )
+        };
+        // Trip the trigger at tick 2: fired = true, one pending firing.
+        for t in 0..3 {
+            let mut ctx = InterventionCtx {
+                tick: t,
+                state: &mut st,
+                net: &rt,
+                model: &model,
+                recent: &[],
+                seed: 1,
+            };
+            gi.apply(&mut ctx);
+        }
+        assert!(!st.context_closed(ActivityType::Work.code()));
+
+        // Restore the captured state into a pristine copy: the delayed
+        // firing still lands at tick 7, and `once` stays honoured.
+        let saved = gi.snapshot_state().expect("generic interventions are stateful");
+        let mut fresh = GenericIntervention {
+            once: true,
+            delay: 5,
+            ..GenericIntervention::new(
+                "delayed",
+                Trigger::AtTick { tick: 2 },
+                Target::AllNodes,
+                vec![Operation::CloseContext { ctx: ActivityType::Work }],
+            )
+        };
+        fresh.restore_state(&saved).unwrap();
+        let mut closed_at = None;
+        for t in 3..10 {
+            let mut ctx = InterventionCtx {
+                tick: t,
+                state: &mut st,
+                net: &rt,
+                model: &model,
+                recent: &[],
+                seed: 1,
+            };
+            fresh.apply(&mut ctx);
+            if closed_at.is_none() && st.context_closed(ActivityType::Work.code()) {
+                closed_at = Some(t);
+            }
+        }
+        assert_eq!(closed_at, Some(7));
+        assert!(fresh.restore_state("not json").is_err());
+    }
+
+    #[test]
+    fn ckpt_set_restore_rejects_mismatched_stacks() {
+        let mut set = base_case(states::SYMPTOMATIC, 16, 31, 70, 0.8, 0.6);
+        let states = set.snapshot_states();
+        assert_eq!(states.len(), 3);
+        // SH is the only stateful entry in the base stack.
+        assert_eq!(states[0].1, None);
+        assert_eq!(states[1].1, None);
+        assert!(states[2].1.is_some());
+        set.restore_states(&states).unwrap();
+
+        // Wrong count.
+        assert!(set.restore_states(&states[..2]).is_err());
+        // Wrong name.
+        let mut renamed = states.clone();
+        renamed[0].0 = "XX".to_string();
+        assert!(set.restore_states(&renamed).is_err());
     }
 }

@@ -26,10 +26,14 @@
 //!   follows the epidemic, not the network.
 //! * [`frontier`] — the active-set bitset and tick-bucket progression
 //!   queues behind the frontier scan.
+//! * [`checkpoint`] — tick-level checkpoint/restart: versioned,
+//!   per-section-checksummed snapshots with a two-slot A/B chain, so a
+//!   preempted run resumes byte-identically from its last snapshot.
 //! * [`output`] — transition logs, dendograms (transmission forests),
 //!   and per-tick aggregate counters, plus the memory-accounting model
 //!   behind Fig. 10.
 
+pub mod checkpoint;
 pub mod covid;
 pub mod disease;
 pub mod engine;
@@ -40,9 +44,12 @@ pub mod partition;
 pub mod scaling;
 pub mod state;
 
+pub use checkpoint::{
+    SimSnapshot, SnapshotChain, SnapshotError, SnapshotEvent, SnapshotMeta, SNAPSHOT_VERSION,
+};
 pub use covid::covid19_model;
 pub use disease::{DiseaseModel, DwellTime, Progression, StateId, Transmission};
-pub use engine::{EngineStats, SimConfig, SimResult, Simulation};
+pub use engine::{EngineStats, RunCarry, SimConfig, SimResult, Simulation};
 pub use frontier::{ActiveSet, TickBuckets};
 pub use interventions::{Intervention, InterventionSet};
 pub use output::{DendogramStats, SimOutput, TransitionRecord};

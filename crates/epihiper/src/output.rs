@@ -37,7 +37,7 @@ pub struct DendogramStats {
 }
 
 /// Full output of one simulation replicate.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimOutput {
     /// Every transition, in (tick, person) order.
     pub transitions: Vec<TransitionRecord>,

@@ -13,6 +13,7 @@
 
 use crate::disease::StateId;
 use epiflow_synthpop::ActivityType;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Node flag bits.
@@ -31,7 +32,12 @@ pub mod flags {
 pub const NEVER: u32 = u32::MAX;
 
 /// The full mutable simulation state.
-#[derive(Clone, Debug)]
+///
+/// Serializable in full — including the private edge bits and the
+/// health epoch — because it is the authoritative half of a
+/// [`crate::checkpoint::SimSnapshot`]; everything the engine derives
+/// from it (frontier index, occupancy) is rebuilt on restore.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimState {
     /// Current health state per node.
     pub health: Vec<StateId>,
@@ -92,6 +98,12 @@ impl SimState {
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.health.len()
+    }
+
+    /// Number of undirected edges the enable bits cover (snapshot
+    /// restore validates this against the network being resumed onto).
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
     }
 
     /// Write a node's health state from *outside* the engine's tick

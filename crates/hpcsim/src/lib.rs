@@ -33,5 +33,5 @@ pub use coloring::{greedy_relaxed_coloring, validate_relaxed_coloring, ConflictG
 pub use dbsim::PopulationDb;
 pub use globus::{GlobusLink, LinkFaults, Transfer};
 pub use schedule::{pack, pack_arrival, pack_in_order, ExecStats, Level, LevelPlan, PackAlgo};
-pub use slurm::{NodeFailure, SlurmSim, SlurmStats};
+pub use slurm::{CheckpointPolicy, NodeFailure, ResumePoint, SlurmSim, SlurmStats};
 pub use task::Task;

@@ -42,7 +42,6 @@ pub fn sample_fault_plan(
         return FaultPlan { seed, ..FaultPlan::default() };
     }
     let draw = |label: &str| fault_unit(base_seed, label, night);
-    let window = remote.window_secs() as f64;
 
     let mut node_failures = Vec::new();
     if intensity >= 0.75 && draw("c-total-kill") < 0.4 * intensity {
@@ -53,10 +52,13 @@ pub fn sample_fault_plan(
         node_failures
             .push(NodeFailure { at_secs: draw("c-kill-at") * 3600.0, nodes: remote.nodes });
     } else {
+        // Partial losses get the same first-hour timing as total ones:
+        // a kill only bites while the job array is running, and the
+        // execute step is a small fraction of the ten-hour window.
         let n = (3.0 * intensity * draw("c-node-count")) as usize;
         for k in 0..n {
             node_failures.push(NodeFailure {
-                at_secs: draw(&format!("c-node-at-{k}")) * window,
+                at_secs: draw(&format!("c-node-at-{k}")) * 3600.0,
                 nodes: 1
                     + (0.2 * remote.nodes as f64 * intensity * draw(&format!("c-node-n-{k}")))
                         as usize,
@@ -78,6 +80,56 @@ pub fn sample_fault_plan(
     }
 }
 
+/// Sample a *preemption-heavy* fault plan: links, databases, and task
+/// runtimes stay quiet, and all the injected chaos is partial node
+/// losses — several per night at full intensity, each killing 5–25 % of
+/// the machine. Kills land within the first hour of the execute step,
+/// for the same reason `sample_fault_plan` times total losses there: a
+/// preemption only matters while the job array is actually running,
+/// and a draw spread over the whole ten-hour window would mostly fire
+/// after short nights already finished. This is the profile that
+/// isolates what tick-level checkpointing buys: every node-second a
+/// night loses here is recomputed simulation work (or checkpoint-write
+/// overhead), not transfer retries or database stalls.
+///
+/// Pure in `(base_seed, night, intensity)`, like [`sample_fault_plan`].
+pub fn sample_fault_plan_preempt_heavy(
+    base_seed: u64,
+    night: u64,
+    intensity: f64,
+    remote: &ClusterSpec,
+) -> FaultPlan {
+    let intensity = intensity.clamp(0.0, 1.0);
+    let seed = base_seed ^ night.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if intensity <= 0.0 {
+        return FaultPlan { seed, ..FaultPlan::default() };
+    }
+    let draw = |label: &str| fault_unit(base_seed, label, night);
+    let mut node_failures = Vec::new();
+    let n = 1 + (5.0 * intensity * draw("p-count")) as usize;
+    for k in 0..n {
+        let frac = 0.05 + 0.20 * intensity * draw(&format!("p-frac-{k}"));
+        node_failures.push(NodeFailure {
+            at_secs: draw(&format!("p-at-{k}")) * 3600.0,
+            nodes: (1 + (frac * remote.nodes as f64) as usize).min(remote.nodes),
+        });
+    }
+    FaultPlan { seed, node_failures, ..FaultPlan::default() }
+}
+
+/// Which fault mix a campaign samples each night from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultProfile {
+    /// The full chaos mix of [`sample_fault_plan`]: link faults, DB
+    /// exhaustion and slowdowns, stragglers, node losses, and (at high
+    /// intensity) total cluster kills.
+    #[default]
+    Mixed,
+    /// Node preemptions only ([`sample_fault_plan_preempt_heavy`]) —
+    /// the checkpoint/restart qualification profile.
+    PreemptHeavy,
+}
+
 /// Configuration of a chaos campaign over the nightly workflow.
 #[derive(Clone, Debug)]
 pub struct CampaignSpec {
@@ -93,6 +145,9 @@ pub struct CampaignSpec {
     pub intensities: Vec<f64>,
     pub nights_per_intensity: usize,
     pub base_seed: u64,
+    /// Fault mix sampled each night ([`FaultProfile::Mixed`] unless
+    /// the campaign targets a specific failure domain).
+    pub profile: FaultProfile,
 }
 
 /// One night's result.
@@ -120,6 +175,16 @@ pub struct IntensityStats {
     /// `(cells shed in a night, number of such nights)`, ascending.
     pub shed_distribution: Vec<(u32, usize)>,
     pub mean_cycle_hours: f64,
+    /// Executions killed by node failures across the intensity's nights.
+    #[serde(default)]
+    pub preemptions: usize,
+    /// Node-seconds of recomputed work (and checkpoint-write overhead)
+    /// across the intensity's nights.
+    #[serde(default)]
+    pub node_seconds_lost: f64,
+    /// Node-seconds preserved across preemptions by checkpoints.
+    #[serde(default)]
+    pub node_seconds_recovered: f64,
 }
 
 /// Full campaign result: per-night outcomes (in deterministic
@@ -135,11 +200,13 @@ impl CampaignReport {
     pub fn table_text(&self) -> String {
         let mut s = String::new();
         s.push_str(
-            "intensity  nights  success  failovers  hedges  reroutes  retries  shed  mean-hours\n",
+            "intensity  nights  success  failovers  hedges  reroutes  retries  shed  \
+             mean-hours  preempt  lost-nh  saved-nh\n",
         );
         for i in &self.per_intensity {
             s.push_str(&format!(
-                "{:>9.2}  {:>6}  {:>6.0}%  {:>9}  {:>6}  {:>8}  {:>7}  {:>4}  {:>10.2}\n",
+                "{:>9.2}  {:>6}  {:>6.0}%  {:>9}  {:>6}  {:>8}  {:>7}  {:>4}  {:>10.2}  \
+                 {:>7}  {:>7.1}  {:>8.1}\n",
                 i.intensity,
                 i.nights,
                 100.0 * i.success_rate,
@@ -149,6 +216,9 @@ impl CampaignReport {
                 i.retries,
                 i.shed_cells_total,
                 i.mean_cycle_hours,
+                i.preemptions,
+                i.node_seconds_lost / 3600.0,
+                i.node_seconds_recovered / 3600.0,
             ));
         }
         s
@@ -162,7 +232,17 @@ impl CampaignSpec {
     /// parallel fan-out against.
     pub fn run_night(&self, intensity_idx: usize, night: u64) -> NightOutcome {
         let intensity = self.intensities[intensity_idx];
-        let faults = sample_fault_plan(self.base_seed, night, intensity, &self.nightly.remote);
+        let faults = match self.profile {
+            FaultProfile::Mixed => {
+                sample_fault_plan(self.base_seed, night, intensity, &self.nightly.remote)
+            }
+            FaultProfile::PreemptHeavy => sample_fault_plan_preempt_heavy(
+                self.base_seed,
+                night,
+                intensity,
+                &self.nightly.remote,
+            ),
+        };
         let engine = nightly_engine(
             &self.nightly,
             self.tasks.clone(),
@@ -226,6 +306,12 @@ impl CampaignSpec {
                     mean_cycle_hours: nights.iter().map(|o| o.cycle_secs).sum::<f64>()
                         / 3600.0
                         / n as f64,
+                    preemptions: nights.iter().map(|o| o.counters.preemptions).sum(),
+                    node_seconds_lost: nights.iter().map(|o| o.counters.node_seconds_lost).sum(),
+                    node_seconds_recovered: nights
+                        .iter()
+                        .map(|o| o.counters.node_seconds_recovered)
+                        .sum(),
                 }
             })
             .collect();
@@ -256,6 +342,27 @@ mod tests {
             for f in &p.node_failures {
                 assert!(f.nodes <= remote.nodes);
                 assert!(f.at_secs <= remote.window_secs() as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn ckpt_preempt_heavy_profile_is_preemptions_only() {
+        let remote = ClusterSpec::bridges();
+        let a = sample_fault_plan_preempt_heavy(11, 3, 0.8, &remote);
+        assert_eq!(a, sample_fault_plan_preempt_heavy(11, 3, 0.8, &remote), "deterministic");
+        assert!(sample_fault_plan_preempt_heavy(11, 3, 0.0, &remote).is_quiet());
+        for night in 0..32 {
+            let p = sample_fault_plan_preempt_heavy(7, night, 1.0, &remote);
+            // Everything but node failures stays quiet.
+            assert_eq!(p.link.fail_prob, 0.0);
+            assert_eq!(p.db_exhaust_prob, 0.0);
+            assert_eq!(p.straggler_prob, 0.0);
+            assert_eq!(p.db_slow_prob, 0.0);
+            assert!(!p.node_failures.is_empty(), "night {night} injected no preemptions");
+            for f in &p.node_failures {
+                assert!(f.nodes >= 1 && f.nodes < remote.nodes, "partial losses only");
+                assert!((0.0..=3600.0).contains(&f.at_secs), "kills land in the first hour");
             }
         }
     }

@@ -16,7 +16,7 @@ use crate::step::{BytesSpec, Dag, StepId, StepKind, StepSpec};
 use epiflow_hpcsim::cluster::{ClusterSpec, Site};
 use epiflow_hpcsim::globus::{GlobusLink, Transfer};
 use epiflow_hpcsim::schedule::{pack, PackAlgo};
-use epiflow_hpcsim::slurm::{SlurmSim, SlurmStats};
+use epiflow_hpcsim::slurm::{CheckpointPolicy, SlurmSim, SlurmStats};
 use epiflow_hpcsim::task::Task;
 use epiflow_hpcsim::PopulationDb;
 use serde::{Deserialize, Serialize};
@@ -282,6 +282,12 @@ impl CycleReport {
             reroutes: self.reroutes,
             shed_cells: self.dropped_cells.len() as u32,
             failed_steps: self.failed_steps.len() as u32,
+            node_seconds_lost: self.slurm.as_ref().map(|s| s.lost_node_secs).unwrap_or(0.0),
+            node_seconds_recovered: self
+                .slurm
+                .as_ref()
+                .map(|s| s.recovered_node_secs)
+                .unwrap_or(0.0),
         }
     }
 }
@@ -296,6 +302,14 @@ pub struct EventCounters {
     pub reroutes: u32,
     pub shed_cells: u32,
     pub failed_steps: u32,
+    /// Node-seconds destroyed by preemption (recomputed work plus any
+    /// final checkpoint-write overhead).
+    #[serde(default)]
+    pub node_seconds_lost: f64,
+    /// Node-seconds preserved across preemptions by tick-level
+    /// checkpoints (0 with checkpointing disabled).
+    #[serde(default)]
+    pub node_seconds_recovered: f64,
 }
 
 /// Outcome of [`Engine::run`] / [`Engine::resume`].
@@ -407,6 +421,10 @@ pub struct Engine {
     pub deadline: DeadlinePolicy,
     pub failover: FailoverPolicy,
     pub breaker: BreakerConfig,
+    /// Tick-level checkpoint/restart policy applied to every Slurm
+    /// execution (disabled by default — preempted tasks restart from
+    /// scratch, the classic behaviour).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Engine {
@@ -419,7 +437,16 @@ impl Engine {
             deadline: DeadlinePolicy::default(),
             failover: FailoverPolicy::default(),
             breaker: BreakerConfig::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
+    }
+
+    /// A Slurm simulator on `cluster` carrying this engine's checkpoint
+    /// policy.
+    fn slurm_sim(&self, cluster: ClusterSpec) -> SlurmSim {
+        let mut sim = SlurmSim::new(cluster);
+        sim.checkpoint = self.checkpoint;
+        sim
     }
 
     /// Run the cycle from scratch.
@@ -538,6 +565,13 @@ impl Engine {
                     };
                     end_times[id] = Some(start + duration);
                     timeline.push(event.clone());
+                    // Snapshot lineage for the step attempt: which
+                    // tasks were preempted and the tick each resumes
+                    // from (empty unless checkpointing recovered work).
+                    let snapshots = match &ok.effect {
+                        StepEffect::Execution { slurm, .. } => slurm.resume_log.clone(),
+                        _ => Vec::new(),
+                    };
                     out.entries.push(JournalEntry {
                         step: id,
                         attempts,
@@ -548,6 +582,7 @@ impl Engine {
                         failover: ctx.failover,
                         hedges: ctx.hedges,
                         reroutes: ctx.reroutes,
+                        snapshots,
                     });
                     events.push(EngineEvent::StepCompleted {
                         step: id,
@@ -958,7 +993,7 @@ impl Engine {
             let plan = pack(&kept, self.env.remote.nodes, bound_of, self.env.algo);
             let order: Vec<usize> =
                 plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
-            let stats = SlurmSim::new(self.env.remote.clone()).run_with_faults(
+            let stats = self.slurm_sim(self.env.remote.clone()).run_with_faults(
                 &kept,
                 &order,
                 bound_of,
@@ -1005,7 +1040,7 @@ impl Engine {
             let plan = pack(&base, self.env.remote.nodes, bound_of, self.env.algo);
             let order: Vec<usize> =
                 plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
-            let stats = SlurmSim::new(self.env.remote.clone()).run_with_faults(
+            let stats = self.slurm_sim(self.env.remote.clone()).run_with_faults(
                 &base,
                 &order,
                 bound_of,
@@ -1056,7 +1091,7 @@ impl Engine {
             let order: Vec<usize> =
                 plan.levels.iter().flat_map(|l| l.tasks.iter().copied()).collect();
             let stats =
-                SlurmSim::new(self.env.home.clone()).run_with_faults(&kept, &order, bound_of, &[]);
+                self.slurm_sim(self.env.home.clone()).run_with_faults(&kept, &order, bound_of, &[]);
             let agg = (stats.busy_node_secs * 0.02 / self.env.home.nodes as f64).max(60.0);
             let fits = stats.finished_all()
                 && state.db_secs + wasted + stats.makespan_secs + agg <= window;

@@ -24,7 +24,7 @@ use crate::engine::{DroppedCell, TimelineEvent};
 use crate::step::StepId;
 use epiflow_hpcsim::cluster::Site;
 use epiflow_hpcsim::globus::Transfer;
-use epiflow_hpcsim::slurm::SlurmStats;
+use epiflow_hpcsim::slurm::{ResumePoint, SlurmStats};
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{self, Write};
@@ -83,6 +83,12 @@ pub struct JournalEntry {
     /// open (fallback link, standby database).
     #[serde(default)]
     pub reroutes: u32,
+    /// Snapshot lineage for the step's execution: each preemption that
+    /// retained a tick-level checkpoint, with the tick the requeued
+    /// attempt resumed from. Empty for non-execute steps and whenever
+    /// checkpointing is disabled.
+    #[serde(default)]
+    pub snapshots: Vec<ResumePoint>,
 }
 
 /// The write-ahead journal: completions in execution order.
@@ -182,9 +188,21 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Create (truncating) the journal file.
+    /// Create (truncating) the journal file, durably: the empty file is
+    /// fsynced and so is its parent directory, so the journal's
+    /// directory entry survives a crash between creation and the first
+    /// commit. (`save_atomic` already fsyncs the directory after its
+    /// rename; without this, the incremental path's first commit could
+    /// be fsynced into a file that power loss then unlinks.)
     pub fn create(path: &Path) -> io::Result<Self> {
-        Ok(JournalWriter { file: File::create(path)? })
+        let file = File::create(path)?;
+        file.sync_all()?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                File::open(dir)?.sync_all()?;
+            }
+        }
+        Ok(JournalWriter { file })
     }
 
     /// Durably append one commit record.
@@ -218,6 +236,7 @@ mod tests {
             failover: None,
             hedges: 0,
             reroutes: 0,
+            snapshots: Vec::new(),
         }
     }
 
@@ -256,6 +275,10 @@ mod tests {
                 failover: Some(Site::Home),
                 hedges: 1,
                 reroutes: 2,
+                snapshots: vec![
+                    ResumePoint { task: 3, tick: 48 },
+                    ResumePoint { task: 3, tick: 112 },
+                ],
             }],
         };
         let json = journal.to_json();
@@ -339,5 +362,45 @@ mod tests {
         let journal = Journal::from_jsonl(line).expect("legacy record parses");
         assert_eq!(journal.entries.len(), 1);
         assert_eq!(journal.entries[0], entry(0));
+    }
+
+    #[test]
+    fn ckpt_writer_create_is_durable_and_tolerates_bare_paths() {
+        // Regression for the create-durability fix: creation in a fresh
+        // directory must succeed (file + parent-dir fsync path), and a
+        // parentless relative path must not error on the directory
+        // fsync (the empty-parent guard).
+        let dir = std::env::temp_dir().join(format!("epiflow-jwriter-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let nested = dir.join("night.jsonl");
+        let mut w = JournalWriter::create(&nested).expect("create with parent dir");
+        w.commit(&entry(0)).unwrap();
+        drop(w);
+        let (back, torn) =
+            Journal::recover_jsonl(&std::fs::read_to_string(&nested).unwrap()).unwrap();
+        assert!(!torn);
+        assert_eq!(back.entries, vec![entry(0)]);
+        // Re-creating truncates, as before the fix.
+        let w2 = JournalWriter::create(&nested).expect("re-create truncates");
+        drop(w2);
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ckpt_snapshot_lineage_round_trips_and_defaults() {
+        let mut e = entry(2);
+        e.snapshots = vec![ResumePoint { task: 0, tick: 16 }, ResumePoint { task: 4, tick: 32 }];
+        let journal = Journal { entries: vec![e.clone()] };
+        let back = Journal::from_jsonl(&journal.to_jsonl()).expect("lineage round-trips");
+        assert_eq!(back.entries[0].snapshots, e.snapshots);
+        // Pre-checkpoint records carry no snapshots key.
+        let line = concat!(
+            r#"{"step":2,"attempts":1,"wasted_secs":0.0,"#,
+            r#""event":{"label":"step 2","site":"Remote","start_secs":2.0,"#,
+            r#""duration_secs":1.0,"automated":true},"effect":{"type":"none"}}"#,
+        );
+        let old = Journal::from_jsonl(line).expect("pre-checkpoint record parses");
+        assert!(old.entries[0].snapshots.is_empty());
     }
 }

@@ -46,7 +46,10 @@ pub mod step;
 pub use breaker::{
     BreakerConfig, BreakerSet, BreakerState, CircuitBreaker, Resource, ResourceCall,
 };
-pub use campaign::{sample_fault_plan, CampaignReport, CampaignSpec, IntensityStats, NightOutcome};
+pub use campaign::{
+    sample_fault_plan, sample_fault_plan_preempt_heavy, CampaignReport, CampaignSpec, FaultProfile,
+    IntensityStats, NightOutcome,
+};
 pub use engine::{
     timeline_text, CycleEnv, CycleReport, DeadlinePolicy, DroppedCell, Engine, EngineEvent,
     EventCounters, FailoverPolicy, HedgePolicy, RunResult, TimelineEvent,

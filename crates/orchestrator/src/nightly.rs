@@ -14,6 +14,7 @@ use crate::step::{BytesSpec, Dag, RetryPolicy, StepKind, StepSpec};
 use epiflow_hpcsim::cluster::{ClusterSpec, Site};
 use epiflow_hpcsim::globus::GlobusLink;
 use epiflow_hpcsim::schedule::PackAlgo;
+use epiflow_hpcsim::slurm::CheckpointPolicy;
 use epiflow_hpcsim::task::Task;
 
 /// Static configuration of the nightly cycle (everything except the
@@ -44,6 +45,9 @@ pub struct NightlySpec {
     pub failover: FailoverPolicy,
     /// Circuit-breaker tuning for the guarded resources.
     pub breaker: BreakerConfig,
+    /// Tick-level checkpoint/restart for the Slurm execution (off by
+    /// default — preempted tasks restart from scratch).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for NightlySpec {
@@ -65,6 +69,7 @@ impl Default for NightlySpec {
             transfer_retry: RetryPolicy::retries(4, 120.0),
             failover: FailoverPolicy::default(),
             breaker: BreakerConfig::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -161,7 +166,15 @@ pub fn nightly_engine(
         tasks,
         region_rows,
     };
-    Engine { dag, env, faults, deadline, failover: spec.failover, breaker: spec.breaker }
+    Engine {
+        dag,
+        env,
+        faults,
+        deadline,
+        failover: spec.failover,
+        breaker: spec.breaker,
+        checkpoint: spec.checkpoint,
+    }
 }
 
 #[cfg(test)]

@@ -349,6 +349,31 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     }
 }
 
+/// `HashMap` serializes with keys sorted, so the emitted bytes are
+/// deterministic regardless of hasher state — a requirement for the
+/// checksummed snapshot sections built on top of this shim.
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => m.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect(),
+            _ => Err(DeError::expected("map", "HashMap")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +388,23 @@ mod tests {
         assert_eq!(Option::<u32>::from_value(&v.to_value()).unwrap(), None);
         let t = (3u32, 4u32);
         assert_eq!(<(u32, u32)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn hashmap_round_trips_with_sorted_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert("zeta".to_string(), 1.5f64);
+        m.insert("alpha".to_string(), -2.0);
+        let v = m.to_value();
+        match &v {
+            Value::Map(entries) => {
+                let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["alpha", "zeta"], "keys must serialize sorted");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+        let back = std::collections::HashMap::<String, f64>::from_value(&v).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -14,8 +14,8 @@ use epiflow::hpcsim::cluster::Site;
 use epiflow::hpcsim::slurm::NodeFailure;
 use epiflow::hpcsim::task::WorkloadSpec;
 use epiflow::orchestrator::{
-    CampaignSpec, DeadlinePolicy, EngineEvent, FailoverPolicy, FaultPlan, Journal, JournalWriter,
-    NightlySpec,
+    CampaignSpec, DeadlinePolicy, EngineEvent, FailoverPolicy, FaultPlan, FaultProfile, Journal,
+    JournalWriter, NightlySpec,
 };
 use epiflow::surveillance::{RegionRegistry, Scale};
 use std::fs;
@@ -162,6 +162,7 @@ fn campaign_sweep_is_deterministic_and_quiet_nights_always_succeed() {
         intensities: vec![0.0, 0.5, 1.0],
         nights_per_intensity: 6,
         base_seed: 2021,
+        profile: FaultProfile::Mixed,
     };
 
     let report = spec.run();

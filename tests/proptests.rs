@@ -1,9 +1,12 @@
 //! Property-based tests over the core invariants, spanning crates.
 
 use epiflow::core::CombinedWorkflow;
+use epiflow::epihiper::checkpoint::SimSnapshot;
 use epiflow::epihiper::disease::sir_model;
 use epiflow::epihiper::engine::{CounterRng, SimConfig, SimResult, Simulation};
-use epiflow::epihiper::interventions::InterventionSet;
+use epiflow::epihiper::interventions::{
+    GenericIntervention, InterventionSet, Operation, StayAtHome, Target, Trigger,
+};
 use epiflow::epihiper::partition::partition_network;
 use epiflow::hpcsim::cluster::ClusterSpec;
 use epiflow::hpcsim::cluster::Site;
@@ -16,8 +19,8 @@ use epiflow::hpcsim::task::WorkloadSpec;
 use epiflow::linalg::{cholesky, Mat};
 use epiflow::orchestrator::{
     sample_fault_plan, BreakerConfig, BreakerState, CampaignSpec, CircuitBreaker, CycleEnv, Dag,
-    DeadlinePolicy, Engine, EngineEvent, FailoverPolicy, NightlySpec, RetryPolicy, StepKind,
-    StepSpec,
+    DeadlinePolicy, Engine, EngineEvent, FailoverPolicy, FaultProfile, NightlySpec, RetryPolicy,
+    StepKind, StepSpec,
 };
 use epiflow::surveillance::CaseSeries;
 use epiflow::surveillance::{RegionRegistry, Scale};
@@ -67,6 +70,59 @@ fn run_epi(net: &ContactNetwork, beta: f64, seed: u64, parts: usize, reference: 
         },
     );
     sim.run()
+}
+
+/// Run a 30-tick SIR simulation to completion, or — when
+/// `interrupt_at` is set — stop at that tick, round-trip a snapshot
+/// through the wire encoding, and resume at a different partition
+/// count. `mk_iv` builds the intervention set fresh for each
+/// simulation (the set holds boxed trait objects and is not `Clone`).
+fn run_epi_ckpt(
+    net: &ContactNetwork,
+    beta: f64,
+    seed: u64,
+    reference: bool,
+    interrupt_at: Option<u32>,
+    parts_after: usize,
+    mk_iv: &dyn Fn() -> InterventionSet,
+) -> SimResult {
+    let n = net.n_nodes;
+    let cfg = |ticks: u32, parts: usize| SimConfig {
+        ticks,
+        seed,
+        n_partitions: parts,
+        initial_infections: 3,
+        reference_scan: reference,
+        ..Default::default()
+    };
+    let sim = |ticks: u32, parts: usize| {
+        Simulation::new(
+            net,
+            sir_model(beta, 5.0),
+            vec![2; n],
+            vec![0; n],
+            mk_iv(),
+            cfg(ticks, parts),
+        )
+    };
+    let Some(k) = interrupt_at else {
+        return sim(30, 4).run();
+    };
+    let mut interrupted = sim(k, 4);
+    interrupted.run();
+    let bytes = interrupted.snapshot().encode();
+    let snap = SimSnapshot::decode(&bytes).expect("snapshot wire round-trip");
+    let mut resumed = Simulation::resume(
+        net,
+        sir_model(beta, 5.0),
+        vec![2; n],
+        vec![0; n],
+        mk_iv(),
+        cfg(30, parts_after),
+        &snap,
+    )
+    .expect("snapshot accepted on resume");
+    resumed.run()
 }
 
 fn make_network(n: u32, pairs: &[(u32, u32)]) -> ContactNetwork {
@@ -232,6 +288,80 @@ proptest! {
             prop_assert_eq!(&fr.output.transitions, &rf.output.transitions);
             prop_assert_eq!(&fr.output.current_counts, &rf.output.current_counts);
         }
+    }
+
+    /// The golden checkpoint invariant: interrupting a run at *any*
+    /// tick, round-tripping the snapshot through the checksummed wire
+    /// encoding, and resuming — at a different partition count — is
+    /// byte-identical to the uninterrupted run, in both scan modes.
+    #[test]
+    fn ckpt_resume_any_tick_byte_identical(
+        (n, pairs) in arb_edges(120),
+        seed in any::<u64>(),
+        beta in 0.0f64..3.0,
+        k in 0u32..=30,
+    ) {
+        let net = make_network(n, &pairs);
+        let no_iv = InterventionSet::default;
+        for reference in [false, true] {
+            let full = run_epi_ckpt(&net, beta, seed, reference, None, 4, &no_iv);
+            // Resume at the same partition count: everything matches,
+            // counters included.
+            let same = run_epi_ckpt(&net, beta, seed, reference, Some(k), 4, &no_iv);
+            prop_assert_eq!(
+                &full.output, &same.output,
+                "output diverged after interrupt at tick {}", k
+            );
+            prop_assert_eq!(&full.stats, &same.stats);
+            prop_assert_eq!(full.ticks_run, same.ticks_run);
+            // Resume at a different partition count: the epidemic is
+            // unchanged; only the per-partition scan-cost counter
+            // (`edges_scanned`) may legitimately shift.
+            for parts_after in [1usize, 13] {
+                let repart = run_epi_ckpt(&net, beta, seed, reference, Some(k), parts_after, &no_iv);
+                prop_assert_eq!(
+                    &full.output, &repart.output,
+                    "output diverged resuming at {} partitions after tick {}", parts_after, k
+                );
+                prop_assert_eq!(&full.stats.frontier_nodes, &repart.stats.frontier_nodes);
+                prop_assert_eq!(&full.stats.due_nodes, &repart.stats.due_nodes);
+                prop_assert_eq!(&full.stats.events, &repart.stats.events);
+            }
+        }
+    }
+
+    /// Same invariant with stateful interventions in play: a
+    /// compliance-sampled stay-at-home order plus a delayed, fire-once
+    /// isolation rule whose pending/fired state must survive the
+    /// snapshot round-trip.
+    #[test]
+    fn ckpt_resume_with_interventions_identical(
+        (n, pairs) in arb_edges(80),
+        seed in any::<u64>(),
+        beta in 0.5f64..3.0,
+        k in 0u32..=30,
+    ) {
+        let net = make_network(n, &pairs);
+        let mk_iv = || {
+            let mut isolate = GenericIntervention::new(
+                "isolate-on-spread",
+                Trigger::StateCountAtLeast { state: 1, count: 4 },
+                Target::NodesInState { state: 1 },
+                vec![Operation::Isolate { days: 5 }],
+            );
+            isolate.once = true;
+            isolate.delay = 2;
+            InterventionSet::new()
+                .with(Box::new(StayAtHome::new(3, 12, 0.6)))
+                .with(Box::new(isolate))
+        };
+        let full = run_epi_ckpt(&net, beta, seed, false, None, 4, &mk_iv);
+        let resumed = run_epi_ckpt(&net, beta, seed, false, Some(k), 4, &mk_iv);
+        prop_assert_eq!(
+            &full.output, &resumed.output,
+            "intervention state diverged after interrupt at tick {}", k
+        );
+        prop_assert_eq!(&full.stats, &resumed.stats);
     }
 
     /// The partitioner covers all nodes exactly once, never exceeds the
@@ -488,6 +618,7 @@ proptest! {
             intensities: vec![0.4, 1.0],
             nights_per_intensity: 3,
             base_seed,
+            profile: FaultProfile::Mixed,
         };
         let parallel = spec.run();
         prop_assert_eq!(&parallel, &spec.run());
