@@ -114,6 +114,7 @@ fn simulate(case: &Case, reference_scan: bool, record_transitions: bool) -> SimR
             initial_infections: case.initial_infections,
             record_transitions,
             reference_scan,
+            ..Default::default()
         },
     );
     sim.run()

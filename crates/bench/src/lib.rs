@@ -60,6 +60,7 @@ pub fn run_covid_mode(
             initial_infections: (n / 400).max(5),
             record_transitions: false,
             reference_scan,
+            ..Default::default()
         },
     );
     sim.model.transmissibility = 0.35;

@@ -11,7 +11,7 @@
 //! 5. Draw posterior configurations for the prediction workflow.
 
 use crate::design::{CellConfig, StudyDesign};
-use crate::runner::{run_design, CellRunSummary};
+use crate::runner::{CellRunSummary, EnsembleRunner};
 use epiflow_calibrate::{Emulator, GpmsaCalibration, GpmsaConfig, Posterior};
 use epiflow_synthpop::builder::RegionData;
 
@@ -74,6 +74,14 @@ impl CalibrationWorkflow {
     /// Run against one region's data and an observed logged cumulative
     /// case series (length = `base.days`).
     pub fn run(&self, data: &RegionData, observed_log_cum: &[f64]) -> CalibrationResult {
+        self.run_with(&EnsembleRunner::new(data, self.n_partitions), observed_log_cum)
+    }
+
+    /// [`CalibrationWorkflow::run`] against a pre-built ensemble
+    /// context, so a combined nightly (calibrate → predict → what-if on
+    /// the same region) builds the network exactly once. The runner's
+    /// partitioning takes precedence over `self.n_partitions`.
+    pub fn run_with(&self, runner: &EnsembleRunner, observed_log_cum: &[f64]) -> CalibrationResult {
         assert_eq!(
             observed_log_cum.len(),
             self.base.days as usize,
@@ -85,7 +93,7 @@ impl CalibrationWorkflow {
         let prior_thetas: Vec<Vec<f64>> = prior.cells.iter().map(|c| c.theta().to_vec()).collect();
 
         // 2. Simulate.
-        let runs = run_design(data, &prior, self.n_partitions, self.seed);
+        let runs = runner.run_design(&prior, self.seed);
 
         // 3. Aggregate observables in cell order.
         let mut outputs: Vec<Vec<f64>> = vec![Vec::new(); prior.cells.len()];

@@ -9,7 +9,7 @@
 //! with 15 replicates per cell per region.
 
 use crate::design::{CellConfig, FactorialDesign, StudyDesign};
-use crate::runner::run_design;
+use crate::runner::EnsembleRunner;
 use epiflow_analytics::{CostModel, CostReport};
 use epiflow_synthpop::builder::RegionData;
 
@@ -50,9 +50,16 @@ pub struct ScenarioCost {
 impl CounterfactualWorkflow {
     /// Run the factorial on one region; returns one row per cell.
     pub fn run(&self, data: &RegionData) -> Vec<ScenarioCost> {
+        self.run_with(&EnsembleRunner::new(data, self.n_partitions))
+    }
+
+    /// [`CounterfactualWorkflow::run`] against a pre-built ensemble
+    /// context. The runner's partitioning takes precedence over
+    /// `self.n_partitions`.
+    pub fn run_with(&self, runner: &EnsembleRunner) -> Vec<ScenarioCost> {
         let cells = self.design.expand(&self.base);
         let study = StudyDesign { cells: cells.clone(), replicates: self.replicates };
-        let runs = run_design(data, &study, self.n_partitions, self.seed);
+        let runs = runner.run_design(&study, self.seed);
 
         cells
             .iter()

@@ -19,7 +19,11 @@
 //!   return transfer — with the full timeline and data-volume ledger.
 //!
 //! [`design`] defines cells (model configurations) and study designs;
-//! [`runner`] executes ⟨cell, region, replicate⟩ grids on rayon.
+//! [`runner`] executes ⟨cell, region, replicate⟩ grids on rayon — the
+//! [`runner::EnsembleRunner`] builds the region's network/partitioning
+//! once and shares it (plus pooled per-worker scratch) across the whole
+//! grid, and all three simulation workflows expose `run_with` to reuse
+//! one context across an entire nightly pipeline.
 
 pub mod calibration;
 pub mod combined;
@@ -33,4 +37,4 @@ pub use combined::{CombinedReport, CombinedWorkflow, TimelineEvent};
 pub use counterfactual::{CounterfactualWorkflow, ScenarioCost};
 pub use design::{CellConfig, ExtraIntervention, FactorialDesign, StudyDesign};
 pub use prediction::{PredictionResult, PredictionWorkflow};
-pub use runner::{run_cell, CellRunSummary};
+pub use runner::{run_cell, run_design, CellRunSummary, EnsembleRunner};

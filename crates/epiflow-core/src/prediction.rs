@@ -10,7 +10,7 @@
 //! future what-if scenarios".
 
 use crate::design::{CellConfig, ExtraIntervention, StudyDesign};
-use crate::runner::{run_design, CellRunSummary};
+use crate::runner::{CellRunSummary, EnsembleRunner};
 use epiflow_analytics::{ensemble_band, EnsembleBand};
 use epiflow_synthpop::builder::RegionData;
 
@@ -51,6 +51,13 @@ impl PredictionResult {
 impl PredictionWorkflow {
     /// Run on posterior configurations from the calibration workflow.
     pub fn run(&self, data: &RegionData, configs: &[CellConfig]) -> PredictionResult {
+        self.run_with(&EnsembleRunner::new(data, self.n_partitions), configs)
+    }
+
+    /// [`PredictionWorkflow::run`] against a pre-built ensemble context
+    /// (typically the one calibration already paid for). The runner's
+    /// partitioning takes precedence over `self.n_partitions`.
+    pub fn run_with(&self, runner: &EnsembleRunner, configs: &[CellConfig]) -> PredictionResult {
         assert!(!configs.is_empty(), "prediction needs posterior configurations");
         let cells: Vec<CellConfig> = configs
             .iter()
@@ -58,7 +65,7 @@ impl PredictionWorkflow {
             .map(|(i, c)| CellConfig { cell: i as u32, days: self.horizon_days, ..c.clone() })
             .collect();
         let design = StudyDesign { cells, replicates: self.replicates };
-        let runs = run_design(data, &design, self.n_partitions, self.seed);
+        let runs = runner.run_design(&design, self.seed);
 
         let cumulative: Vec<Vec<f64>> = runs
             .iter()

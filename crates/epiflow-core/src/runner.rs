@@ -1,4 +1,14 @@
 //! Executing ⟨cell, region, replicate⟩ grids of EpiHiper simulations.
+//!
+//! The nightly production shape is *many runs, one model*: thousands of
+//! replicates against the same immutable contact network. The
+//! [`EnsembleRunner`] exploits that by building one shared
+//! [`SimContext`] per ⟨region, partition count⟩ — CSR network,
+//! partitioning, per-node attributes — and fanning the cells×replicates
+//! grid out over rayon with one pooled [`SimScratch`] per worker, so
+//! per-replicate cost is the tick loop and nothing else. The
+//! free-standing [`run_cell`] keeps the fresh-build path (one context
+//! per call); both paths are byte-identical for the same seeds.
 
 use crate::design::{CellConfig, ExtraIntervention, StudyDesign};
 use epiflow_epihiper::covid::{covid19_model, states};
@@ -7,10 +17,18 @@ use epiflow_epihiper::interventions::{
     ContactTracing, PartialReopening, PulsingShutdown, SchoolClosure, StayAtHome, TestAndIsolate,
     VoluntaryHomeIsolation,
 };
-use epiflow_epihiper::{DiseaseModel, InterventionSet, SimConfig, SimOutput, Simulation};
+use epiflow_epihiper::{
+    DiseaseModel, InterventionSet, SimConfig, SimContext, SimOutput, SimResult, SimScratch,
+    Simulation,
+};
 use epiflow_surveillance::RegionId;
 use epiflow_synthpop::builder::RegionData;
+use epiflow_synthpop::ContactNetwork;
 use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Partitioning tolerance ε used by every workflow runner.
+const EPSILON: usize = 16;
 
 /// Summary of one simulation run (the "summary output" shipped back to
 /// the home cluster — aggregates, not raw transitions).
@@ -103,40 +121,48 @@ pub fn configure_interventions(cell: &CellConfig) -> InterventionSet {
     set
 }
 
-/// Run one ⟨cell, region, replicate⟩ simulation.
-pub fn run_cell(
-    data: &RegionData,
+/// Derive the static per-node attribute vectors from a region's
+/// synthetic population — done once per ensemble, not per replicate.
+fn derive_attributes(data: &RegionData) -> (Vec<u8>, Vec<u16>) {
+    let age_group = data.population.persons.iter().map(|p| p.age_group().index() as u8).collect();
+    let county = data.population.persons.iter().map(|p| p.county).collect();
+    (age_group, county)
+}
+
+/// The per-replicate [`SimConfig`], shared by the fresh-build and
+/// shared-context paths so their seeds and knobs can never drift.
+fn cell_sim_config(
     cell: &CellConfig,
-    replicate: u32,
+    seed: u64,
     n_partitions: usize,
     record_transitions: bool,
-    base_seed: u64,
+) -> SimConfig {
+    SimConfig {
+        ticks: cell.days,
+        seed,
+        n_partitions,
+        epsilon: EPSILON,
+        initial_infections: cell.initial_infections,
+        record_transitions,
+        ..Default::default()
+    }
+}
+
+/// The replicate seed: region, cell, and replicate occupy disjoint bit
+/// ranges so every job in a national nightly design draws an
+/// independent counter-RNG stream.
+fn replicate_seed(base_seed: u64, region: RegionId, cell: u32, replicate: u32) -> u64 {
+    base_seed ^ (region as u64) << 40 ^ (cell as u64) << 16 ^ replicate as u64
+}
+
+/// Aggregate one finished run into the summary shipped back to the
+/// home cluster.
+fn summarize(
+    region: RegionId,
+    cell: &CellConfig,
+    replicate: u32,
+    result: SimResult,
 ) -> CellRunSummary {
-    let model = configure_model(cell);
-    let interventions = configure_interventions(cell);
-    let age_group: Vec<u8> =
-        data.population.persons.iter().map(|p| p.age_group().index() as u8).collect();
-    let county: Vec<u16> = data.population.persons.iter().map(|p| p.county).collect();
-
-    let seed = base_seed ^ (data.region as u64) << 40 ^ (cell.cell as u64) << 16 ^ replicate as u64;
-    let mut sim = Simulation::new(
-        &data.network,
-        model,
-        age_group,
-        county,
-        interventions,
-        SimConfig {
-            ticks: cell.days,
-            seed,
-            n_partitions,
-            epsilon: 16,
-            initial_infections: cell.initial_infections,
-            record_transitions,
-            reference_scan: false,
-        },
-    );
-    let result = sim.run();
-
     let cum = result.output.cumulative(states::SYMPTOMATIC);
     let log_cum: Vec<f64> = cum.iter().map(|&c| (c as f64 + 1.0).ln()).collect();
     let daily: Vec<f64> =
@@ -144,7 +170,7 @@ pub fn run_cell(
     let peak_mem = result.output.memory_bytes.iter().copied().max().unwrap_or(0);
 
     CellRunSummary {
-        region: data.region,
+        region,
         cell: cell.cell,
         replicate,
         log_cum_symptomatic: log_cum,
@@ -155,25 +181,148 @@ pub fn run_cell(
     }
 }
 
-/// Run a full design on one region, parallel over ⟨cell, replicate⟩.
+/// Run one ⟨cell, region, replicate⟩ simulation, building the network
+/// from scratch — the reference path. Ensemble traffic should go
+/// through [`EnsembleRunner`], which amortizes the network build across
+/// replicates and produces byte-identical results.
+pub fn run_cell(
+    data: &RegionData,
+    cell: &CellConfig,
+    replicate: u32,
+    n_partitions: usize,
+    record_transitions: bool,
+    base_seed: u64,
+) -> CellRunSummary {
+    let model = configure_model(cell);
+    let interventions = configure_interventions(cell);
+    let (age_group, county) = derive_attributes(data);
+
+    let seed = replicate_seed(base_seed, data.region, cell.cell, replicate);
+    let mut sim = Simulation::new(
+        &data.network,
+        model,
+        age_group,
+        county,
+        interventions,
+        cell_sim_config(cell, seed, n_partitions, record_transitions),
+    );
+    let result = sim.run();
+    summarize(data.region, cell, replicate, result)
+}
+
+/// Executes the simulations of one region's nightly design against a
+/// single shared immutable [`SimContext`].
+///
+/// Construction pays the O(V + E) network build, partitioning, and
+/// attribute derivation exactly once; every [`EnsembleRunner::run_cell`]
+/// after that only allocates the per-replicate mutable state, and
+/// [`EnsembleRunner::run_design`] additionally pools one [`SimScratch`]
+/// per rayon worker so steady-state replicates reuse event buffers and
+/// output rows across runs. All of it is byte-identical to the
+/// fresh-build [`run_cell`] for the same seeds — the context and the
+/// scratch carry no state that can influence results.
+pub struct EnsembleRunner {
+    region: RegionId,
+    n_partitions: usize,
+    ctx: Arc<SimContext>,
+}
+
+impl EnsembleRunner {
+    /// Build the shared context for ⟨region, `n_partitions`⟩.
+    pub fn new(data: &RegionData, n_partitions: usize) -> Self {
+        let (age_group, county) = derive_attributes(data);
+        Self::from_parts(data.region, &data.network, age_group, county, n_partitions)
+    }
+
+    /// Build from raw parts (synthetic networks, benches, tests).
+    /// `age_group` and `county` must have one entry per node.
+    pub fn from_parts(
+        region: RegionId,
+        network: &ContactNetwork,
+        age_group: Vec<u8>,
+        county: Vec<u16>,
+        n_partitions: usize,
+    ) -> Self {
+        let ctx = Arc::new(SimContext::build(network, age_group, county, n_partitions, EPSILON));
+        EnsembleRunner { region, n_partitions, ctx }
+    }
+
+    /// The shared context (e.g. for [`Simulation::resume_with_context`]).
+    pub fn context(&self) -> &Arc<SimContext> {
+        &self.ctx
+    }
+
+    /// The partition count the context was built for.
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    /// Run one ⟨cell, replicate⟩ against the shared context.
+    pub fn run_cell(
+        &self,
+        cell: &CellConfig,
+        replicate: u32,
+        record_transitions: bool,
+        base_seed: u64,
+    ) -> CellRunSummary {
+        let mut scratch = SimScratch::new();
+        self.run_cell_pooled(cell, replicate, record_transitions, base_seed, &mut scratch)
+    }
+
+    /// [`EnsembleRunner::run_cell`] with caller-pooled scratch: the
+    /// buffers are moved into the simulation for the run and moved back
+    /// out afterwards, so a worker looping over replicates reuses its
+    /// event vectors and output rows across runs.
+    pub fn run_cell_pooled(
+        &self,
+        cell: &CellConfig,
+        replicate: u32,
+        record_transitions: bool,
+        base_seed: u64,
+        scratch: &mut SimScratch,
+    ) -> CellRunSummary {
+        let model = configure_model(cell);
+        let interventions = configure_interventions(cell);
+        let seed = replicate_seed(base_seed, self.region, cell.cell, replicate);
+        let mut sim = Simulation::new_with_context(
+            self.ctx.clone(),
+            model,
+            interventions,
+            cell_sim_config(cell, seed, self.n_partitions, record_transitions),
+        );
+        sim.install_scratch(std::mem::take(scratch));
+        let result = sim.run();
+        *scratch = sim.take_scratch();
+        summarize(self.region, cell, replicate, result)
+    }
+
+    /// Run a full design, parallel over ⟨cell, replicate⟩ with pooled
+    /// per-worker scratch. Jobs carry the cell's *index*, so dispatch
+    /// is O(1) per job regardless of design size.
+    pub fn run_design(&self, design: &StudyDesign, base_seed: u64) -> Vec<CellRunSummary> {
+        let jobs: Vec<(usize, u32)> = design
+            .cells
+            .iter()
+            .enumerate()
+            .flat_map(|(i, _)| (0..design.replicates).map(move |r| (i, r)))
+            .collect();
+        jobs.par_iter()
+            .map_init(SimScratch::new, |scratch, &(ci, rep)| {
+                self.run_cell_pooled(&design.cells[ci], rep, false, base_seed, scratch)
+            })
+            .collect()
+    }
+}
+
+/// Run a full design on one region, parallel over ⟨cell, replicate⟩ —
+/// one shared context for the whole grid.
 pub fn run_design(
     data: &RegionData,
     design: &StudyDesign,
     n_partitions: usize,
     base_seed: u64,
 ) -> Vec<CellRunSummary> {
-    let jobs: Vec<(u32, u32)> = design
-        .cells
-        .iter()
-        .flat_map(|c| (0..design.replicates).map(move |r| (c.cell, r)))
-        .collect();
-    jobs.par_iter()
-        .map(|&(cell_id, rep)| {
-            let cell =
-                design.cells.iter().find(|c| c.cell == cell_id).expect("cell id belongs to design");
-            run_cell(data, cell, rep, n_partitions, false, base_seed)
-        })
-        .collect()
+    EnsembleRunner::new(data, n_partitions).run_design(design, base_seed)
 }
 
 #[cfg(test)]
@@ -284,5 +433,87 @@ mod tests {
                 assert!(runs.iter().any(|s| s.cell == c && s.replicate == r));
             }
         }
+    }
+
+    /// The headline ensemble invariant at the workflow layer: a shared
+    /// context (with pooled scratch carried across replicates) produces
+    /// byte-identical output to the fresh-build path on every
+    /// ⟨cell, replicate⟩ — aggregates *and* transition logs.
+    #[test]
+    fn ensemble_runner_byte_identical_to_fresh_build() {
+        let data = small_region();
+        let cells = [
+            CellConfig { cell: 0, days: 50, sh_start: 30, ..Default::default() },
+            CellConfig { cell: 1, days: 50, transmissibility: 0.3, ..Default::default() },
+        ];
+        for parts in [1usize, 4] {
+            let runner = EnsembleRunner::new(&data, parts);
+            let mut scratch = epiflow_epihiper::SimScratch::new();
+            for cell in &cells {
+                for rep in 0..2u32 {
+                    let fresh = run_cell(&data, cell, rep, parts, true, 11);
+                    let shared = runner.run_cell_pooled(cell, rep, true, 11, &mut scratch);
+                    assert_eq!(
+                        shared.output, fresh.output,
+                        "cell {} rep {rep} parts {parts} diverged",
+                        cell.cell
+                    );
+                    assert_eq!(shared.log_cum_symptomatic, fresh.log_cum_symptomatic);
+                    assert_eq!(shared.peak_memory_bytes, fresh.peak_memory_bytes);
+                }
+            }
+        }
+    }
+
+    /// run_design (now a thin wrapper over the ensemble runner) keeps
+    /// the exact pre-refactor per-job outputs.
+    #[test]
+    fn run_design_matches_per_job_fresh_builds() {
+        let data = small_region();
+        let design = StudyDesign {
+            cells: vec![
+                CellConfig { cell: 0, days: 40, ..Default::default() },
+                CellConfig { cell: 1, days: 40, transmissibility: 0.3, ..Default::default() },
+            ],
+            replicates: 2,
+        };
+        let runs = run_design(&data, &design, 2, 7);
+        assert_eq!(runs.len(), 4);
+        for s in &runs {
+            let cell = &design.cells[s.cell as usize];
+            let fresh = run_cell(&data, cell, s.replicate, 2, false, 7);
+            assert_eq!(s.output, fresh.output, "cell {} rep {}", s.cell, s.replicate);
+        }
+    }
+
+    /// A snapshot taken mid-run on a context-backed simulation resumes
+    /// through the same shared context to a byte-identical finish.
+    #[test]
+    fn context_backed_snapshot_resumes_through_shared_context() {
+        use epiflow_epihiper::{SimConfig, Simulation};
+        let data = small_region();
+        let cell = CellConfig { cell: 3, days: 40, ..Default::default() };
+        let runner = EnsembleRunner::new(&data, 2);
+        let baseline = runner.run_cell(&cell, 0, true, 5);
+
+        let seed = replicate_seed(5, data.region, cell.cell, 0);
+        let interrupted_cfg = SimConfig { ticks: 17, ..cell_sim_config(&cell, seed, 2, true) };
+        let mut interrupted = Simulation::new_with_context(
+            runner.context().clone(),
+            configure_model(&cell),
+            configure_interventions(&cell),
+            interrupted_cfg,
+        );
+        interrupted.run();
+        let snap = interrupted.snapshot();
+        let mut resumed = Simulation::resume_with_context(
+            runner.context().clone(),
+            configure_model(&cell),
+            configure_interventions(&cell),
+            cell_sim_config(&cell, seed, 2, true),
+            &snap,
+        )
+        .expect("context-backed snapshot resumes");
+        assert_eq!(resumed.run().output, baseline.output);
     }
 }

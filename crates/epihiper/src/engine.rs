@@ -46,6 +46,7 @@ use epiflow_synthpop::ContactNetwork;
 use rand::{Rng, RngCore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Counter-based RNG: a splitmix64 stream keyed by (seed, node, tick).
 ///
@@ -204,6 +205,74 @@ impl RuntimeNet {
     }
 }
 
+/// The immutable half of a simulation: everything that is a pure
+/// function of ⟨contact network, demographics, partition count⟩ and is
+/// only ever *read* during a run. Nightly production designs execute
+/// thousands of replicates against the same network, so this is built
+/// once per ⟨region, partition count⟩ and shared via [`Arc`] across
+/// every replicate ([`Simulation::new_with_context`]), turning the
+/// O(V + E) CSR build + partitioning + attribute derivation from a
+/// per-replicate cost into a per-ensemble one.
+///
+/// The partitioning lives here — keyed by the ⟨`n_partitions`, `epsilon`⟩
+/// it was built with — because partition boundaries determine the
+/// workspace layout, the bucket routing, and the per-partition
+/// saturation decision. A context is therefore only valid for configs
+/// requesting the same partitioning; [`Simulation::new_with_context`]
+/// asserts this rather than silently diverging from the fresh-build
+/// path. (Results would still be *epidemiologically* identical either
+/// way — the RNG is counter-based — but telemetry like `edges_scanned`
+/// would not be byte-identical, and byte-identity is the invariant.)
+#[derive(Debug)]
+pub struct SimContext {
+    /// CSR runtime network (in-edge arrays incl. precomputed `tw`).
+    pub net: RuntimeNet,
+    /// Contiguous node ranges, one per partition.
+    pub partitioning: Partitioning,
+    /// Dense node → partition map (apply-phase bucket routing).
+    pub part_of: Vec<u32>,
+    /// Age-group index (0..5) per node.
+    pub age_group: Vec<u8>,
+    /// County index per node (for county-level aggregation).
+    pub county: Vec<u16>,
+    /// County rows in the aggregate output (max county index + 1).
+    pub n_counties: usize,
+    /// The partition count the partitioning was requested with.
+    pub n_partitions: usize,
+    /// The partitioning tolerance ε it was built with.
+    pub epsilon: usize,
+}
+
+impl SimContext {
+    /// One-time construction of the shared context: CSR build,
+    /// partitioning, and the derived attribute tables. `age_group` and
+    /// `county` must have one entry per node.
+    pub fn build(
+        network: &ContactNetwork,
+        age_group: Vec<u8>,
+        county: Vec<u16>,
+        n_partitions: usize,
+        epsilon: usize,
+    ) -> Self {
+        assert_eq!(age_group.len(), network.n_nodes, "age group per node");
+        assert_eq!(county.len(), network.n_nodes, "county per node");
+        let partitioning = partition_network(network, n_partitions, epsilon);
+        let net = RuntimeNet::build(network);
+        let part_of = partitioning.index_map();
+        let n_counties = county.iter().map(|&c| c as usize + 1).max().unwrap_or(1);
+        SimContext {
+            net,
+            partitioning,
+            part_of,
+            age_group,
+            county,
+            n_counties,
+            n_partitions,
+            epsilon,
+        }
+    }
+}
+
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -224,6 +293,17 @@ pub struct SimConfig {
     /// instead of the frontier scan. Exists for A/B verification and
     /// benchmarking; both modes produce byte-identical output.
     pub reference_scan: bool,
+    /// Frontier occupancy fraction above which a partition abandons the
+    /// bitset merge for the plain full-range sweep that tick: iterating
+    /// a near-full bitset plus the due-list merge and the single-pass
+    /// stash cost a few ns per node over the reference's bare range
+    /// loop, while sweeping the few off-frontier nodes costs only their
+    /// λ ≡ 0 edge walks. Measured crossover on a mean-degree-20 network
+    /// sits near 3/4 occupancy (direction-optimizing-BFS style switch),
+    /// hence the 0.75 default. `0.0` degenerates every tick to the
+    /// reference sweep; values above 1.0 never switch. Both scans emit
+    /// identical events, so this knob only moves cost, never results.
+    pub saturation_threshold: f64,
 }
 
 impl Default for SimConfig {
@@ -236,6 +316,7 @@ impl Default for SimConfig {
             initial_infections: 5,
             record_transitions: true,
             reference_scan: false,
+            saturation_threshold: 0.75,
         }
     }
 }
@@ -327,19 +408,54 @@ struct Workspace {
     edges_scanned: u64,
 }
 
+/// Reusable run buffers: the per-partition [`Workspace`]s plus the
+/// per-tick aggregation rows. A fresh simulation starts with an empty
+/// scratch and grows it during the first ticks; an ensemble runner
+/// instead moves one scratch per worker from replicate to replicate
+/// ([`Simulation::install_scratch`] / [`Simulation::take_scratch`]), so
+/// steady-state ensemble throughput allocates nothing per run. Buffer
+/// *contents* never affect results — every buffer is cleared, re-sized,
+/// or re-pointed before use — only capacity is carried over.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    workspaces: Vec<Workspace>,
+    /// New-transition counts per state this tick.
+    new_row: Vec<u32>,
+    /// New-transition counts per (county, state) this tick.
+    county_row: Vec<Vec<u32>>,
+}
+
+impl SimScratch {
+    /// An empty scratch (what a fresh simulation starts with).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Point the per-partition workspaces at `partitioning`'s ranges,
+    /// keeping each workspace's buffers. Called at the top of every
+    /// `run`, so an installed scratch may come from a simulation with a
+    /// different partitioning (or network) entirely.
+    fn configure(&mut self, partitioning: &Partitioning) {
+        self.workspaces.resize_with(partitioning.len(), Workspace::default);
+        for (k, (ws, r)) in self.workspaces.iter_mut().zip(&partitioning.ranges).enumerate() {
+            ws.part = k;
+            ws.range = r.clone();
+        }
+    }
+}
+
 /// A configured simulation, ready to run.
+///
+/// The immutable inputs (network, partitioning, demographics) live in
+/// an [`Arc`]-shared [`SimContext`]; everything below it is the cheap
+/// per-replicate mutable state.
 pub struct Simulation {
-    pub net: RuntimeNet,
+    /// The shared immutable context (network, partitioning, attributes).
+    ctx: Arc<SimContext>,
     pub model: DiseaseModel,
     pub state: SimState,
     pub interventions: InterventionSet,
     pub config: SimConfig,
-    /// Age-group index (0..5) per node.
-    pub age_group: Vec<u8>,
-    /// County index per node (for county-level aggregation).
-    pub county: Vec<u16>,
-    pub partitioning: Partitioning,
-    n_counties: usize,
     /// `lut[health * n_states + neighbor_health]` → (exposed state, ω).
     trans_lut: Vec<Option<(StateId, f64)>>,
     /// `via_state[s]`: state `s` appears as `via` in some transmission,
@@ -355,9 +471,7 @@ pub struct Simulation {
     active: ActiveSet,
     /// Scheduled progressions, bucketed by firing tick.
     buckets: TickBuckets,
-    /// Dense node → partition map (apply-phase bucket routing).
-    part_of: Vec<u32>,
-    workspaces: Vec<Workspace>,
+    scratch: SimScratch,
     /// Last observed [`SimState::health_epoch`]; a mismatch means an
     /// intervention (or test harness) wrote health states externally
     /// and the frontier index must be rebuilt.
@@ -383,13 +497,43 @@ impl Simulation {
         interventions: InterventionSet,
         config: SimConfig,
     ) -> Self {
-        assert_eq!(age_group.len(), network.n_nodes, "age group per node");
-        assert_eq!(county.len(), network.n_nodes, "county per node");
+        let ctx = Arc::new(SimContext::build(
+            network,
+            age_group,
+            county,
+            config.n_partitions,
+            config.epsilon,
+        ));
+        Self::new_with_context(ctx, model, interventions, config)
+    }
+
+    /// Build a simulation against a pre-built shared [`SimContext`],
+    /// skipping all network construction: no CSR build, no
+    /// partitioning, no attribute derivation — only the O(V) mutable
+    /// state and the O(states²) transmission LUT. This is the ensemble
+    /// fast path; with a fixed seed it produces byte-identical results
+    /// to [`Simulation::new`] on the same inputs.
+    ///
+    /// Panics if `config` requests a different partitioning than `ctx`
+    /// was built with (see [`SimContext`]).
+    pub fn new_with_context(
+        ctx: Arc<SimContext>,
+        model: DiseaseModel,
+        interventions: InterventionSet,
+        config: SimConfig,
+    ) -> Self {
+        assert_eq!(
+            (ctx.n_partitions, ctx.epsilon),
+            (config.n_partitions, config.epsilon),
+            "context partitioned for {}/ε={}, config requests {}/ε={}",
+            ctx.n_partitions,
+            ctx.epsilon,
+            config.n_partitions,
+            config.epsilon,
+        );
         model.validate().expect("valid disease model");
 
-        let partitioning = partition_network(network, config.n_partitions, config.epsilon);
-        let net = RuntimeNet::build(network);
-        let state = SimState::new(network.n_nodes, network.edges.len(), model.susceptible_state);
+        let state = SimState::new(ctx.net.n_nodes, ctx.net.n_undirected, model.susceptible_state);
 
         let ns = model.n_states();
         let mut trans_lut = vec![None; ns * ns];
@@ -398,42 +542,66 @@ impl Simulation {
             trans_lut[t.from as usize * ns + t.via as usize] = Some((t.to, t.omega));
             via_state[t.via as usize] = true;
         }
-        let n_counties = county.iter().map(|&c| c as usize + 1).max().unwrap_or(1);
 
-        let part_of = partitioning.index_map();
-        let workspaces = partitioning
-            .ranges
-            .iter()
-            .enumerate()
-            .map(|(k, r)| Workspace { part: k, range: r.clone(), ..Default::default() })
-            .collect();
-        let buckets = TickBuckets::new(partitioning.len());
-        let active = ActiveSet::new(network.n_nodes);
-        let inf_nbr_count = vec![0u32; network.n_nodes];
+        let buckets = TickBuckets::new(ctx.partitioning.len());
+        let active = ActiveSet::new(ctx.net.n_nodes);
+        let inf_nbr_count = vec![0u32; ctx.net.n_nodes];
 
         let mut sim = Simulation {
-            net,
+            ctx,
             model,
             state,
             interventions,
             config,
-            age_group,
-            county,
-            partitioning,
-            n_counties,
             trans_lut,
             via_state,
             inf_nbr_count,
             active,
             buckets,
-            part_of,
-            workspaces,
+            scratch: SimScratch::default(),
             seen_health_epoch: 0,
             start_tick: 0,
             carry: None,
         };
         sim.rebuild_frontier();
         sim
+    }
+
+    /// The shared immutable context.
+    pub fn context(&self) -> &Arc<SimContext> {
+        &self.ctx
+    }
+
+    /// The CSR runtime network.
+    pub fn net(&self) -> &RuntimeNet {
+        &self.ctx.net
+    }
+
+    /// The node partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.ctx.partitioning
+    }
+
+    /// Age-group index (0..5) per node.
+    pub fn age_group(&self) -> &[u8] {
+        &self.ctx.age_group
+    }
+
+    /// County index per node.
+    pub fn county(&self) -> &[u16] {
+        &self.ctx.county
+    }
+
+    /// Swap in a pooled [`SimScratch`] from a previous run (ensemble
+    /// buffer reuse across replicates). Purely a capacity transfer:
+    /// results are identical whether or not a scratch is installed.
+    pub fn install_scratch(&mut self, scratch: SimScratch) {
+        self.scratch = scratch;
+    }
+
+    /// Take the scratch buffers back out, for the next replicate.
+    pub fn take_scratch(&mut self) -> SimScratch {
+        std::mem::take(&mut self.scratch)
     }
 
     /// Recompute the frontier index (`inf_nbr_count` + [`ActiveSet`])
@@ -443,14 +611,14 @@ impl Simulation {
     pub fn rebuild_frontier(&mut self) {
         self.inf_nbr_count.iter_mut().for_each(|c| *c = 0);
         self.active.clear();
-        for v in 0..self.net.n_nodes as u32 {
+        for v in 0..self.ctx.net.n_nodes as u32 {
             if self.via_state[self.state.health[v as usize] as usize] {
-                for e in self.net.in_edges(v) {
+                for e in self.ctx.net.in_edges(v) {
                     self.inf_nbr_count[e.neighbor as usize] += 1;
                 }
             }
         }
-        for v in 0..self.net.n_nodes as u32 {
+        for v in 0..self.ctx.net.n_nodes as u32 {
             if self.inf_nbr_count[v as usize] > 0 {
                 self.active.insert(v);
             }
@@ -468,7 +636,7 @@ impl Simulation {
             return;
         }
         if is {
-            for e in self.net.in_edges(v) {
+            for e in self.ctx.net.in_edges(v) {
                 let u = e.neighbor as usize;
                 self.inf_nbr_count[u] += 1;
                 if self.inf_nbr_count[u] == 1 {
@@ -476,7 +644,7 @@ impl Simulation {
                 }
             }
         } else {
-            for e in self.net.in_edges(v) {
+            for e in self.ctx.net.in_edges(v) {
                 let u = e.neighbor as usize;
                 self.inf_nbr_count[u] -= 1;
                 if self.inf_nbr_count[u] == 0 {
@@ -490,8 +658,8 @@ impl Simulation {
     /// counts, the partition map, both bitset levels, and the queued
     /// bucket entries.
     fn frontier_memory_bytes(&self) -> u64 {
-        let n = self.net.n_nodes;
-        ((self.inf_nbr_count.len() + self.part_of.len()) * 4
+        let n = self.ctx.net.n_nodes;
+        ((self.inf_nbr_count.len() + self.ctx.part_of.len()) * 4
             + n.div_ceil(64) * 8
             + n.div_ceil(64).div_ceil(64) * 8
             + self.buckets.queued() * 8) as u64
@@ -517,7 +685,7 @@ impl Simulation {
     /// loop draws random nodes under a guard bound; any shortfall is
     /// recorded in the output instead of being silently dropped.
     fn seed_infections(&mut self, output: &mut SimOutput) {
-        let n = self.net.n_nodes;
+        let n = self.ctx.net.n_nodes;
         let target = self.config.initial_infections.min(n);
         output.requested_seeds = target as u32;
         if n == 0 {
@@ -534,13 +702,18 @@ impl Simulation {
                 continue;
             }
             let s = self.model.initial_infected_state;
-            let (exit, next) =
-                Self::schedule(&self.model, s, self.age_group[v as usize] as usize, 0, &mut rng);
+            let (exit, next) = Self::schedule(
+                &self.model,
+                s,
+                self.ctx.age_group[v as usize] as usize,
+                0,
+                &mut rng,
+            );
             self.state.health[v as usize] = s;
             self.state.exit_tick[v as usize] = exit;
             self.state.next_state[v as usize] = next;
             if exit != NEVER {
-                self.buckets.push(self.part_of[v as usize] as usize, exit, v);
+                self.buckets.push(self.ctx.part_of[v as usize] as usize, exit, v);
             }
             self.note_health_change(v, old, s);
             if self.config.record_transitions {
@@ -572,7 +745,7 @@ impl Simulation {
                 let to = self.state.next_state[vi];
                 let mut rng = CounterRng::new(self.config.seed, v, t);
                 let (exit, next) =
-                    Self::schedule(&self.model, to, self.age_group[vi] as usize, t, &mut rng);
+                    Self::schedule(&self.model, to, self.ctx.age_group[vi] as usize, t, &mut rng);
                 ws.events.push(Event {
                     node: v,
                     new_state: to,
@@ -591,8 +764,8 @@ impl Simulation {
             }
             let lut_row = &self.trans_lut[hv as usize * ns..(hv as usize + 1) * ns];
             let mut lambda = 0.0f64;
-            ws.edges_scanned += self.net.in_edges(v).len() as u64;
-            for e in self.net.in_edges(v) {
+            ws.edges_scanned += self.ctx.net.in_edges(v).len() as u64;
+            for e in self.ctx.net.in_edges(v) {
                 let u = e.neighbor as usize;
                 let hu = self.state.health[u];
                 let Some((_, omega)) = lut_row[hu as usize] else { continue };
@@ -616,7 +789,7 @@ impl Simulation {
             let mut pick = rng.random_range(0.0..lambda);
             let mut cause = None;
             let mut to_state = self.model.initial_infected_state;
-            for e in self.net.in_edges(v) {
+            for e in self.ctx.net.in_edges(v) {
                 let u = e.neighbor as usize;
                 let hu = self.state.health[u];
                 let Some((to, omega)) = lut_row[hu as usize] else { continue };
@@ -636,7 +809,7 @@ impl Simulation {
             if cause.is_none() {
                 // Floating-point remainder: attribute to the last active
                 // infectious contact (rescan not worth the cost).
-                for e in self.net.in_edges(v).iter().rev() {
+                for e in self.ctx.net.in_edges(v).iter().rev() {
                     let hu = self.state.health[e.neighbor as usize];
                     if lut_row[hu as usize].is_some()
                         && self
@@ -650,7 +823,7 @@ impl Simulation {
                 }
             }
             let (exit, next) =
-                Self::schedule(&self.model, to_state, self.age_group[vi] as usize, t, &mut rng);
+                Self::schedule(&self.model, to_state, self.ctx.age_group[vi] as usize, t, &mut rng);
             ws.events.push(Event {
                 node: v,
                 new_state: to_state,
@@ -669,7 +842,7 @@ impl Simulation {
         let to = self.state.next_state[vi];
         let mut rng = CounterRng::new(self.config.seed, v, t);
         let (exit, next) =
-            Self::schedule(&self.model, to, self.age_group[vi] as usize, t, &mut rng);
+            Self::schedule(&self.model, to, self.ctx.age_group[vi] as usize, t, &mut rng);
         events.push(Event {
             node: v,
             new_state: to,
@@ -708,8 +881,8 @@ impl Simulation {
         let lut_row = &self.trans_lut[hv as usize * ns..(hv as usize + 1) * ns];
         let mut lambda = 0.0f64;
         scratch.clear();
-        *edges_scanned += self.net.in_edges(v).len() as u64;
-        for e in self.net.in_edges(v) {
+        *edges_scanned += self.ctx.net.in_edges(v).len() as u64;
+        for e in self.ctx.net.in_edges(v) {
             let u = e.neighbor as usize;
             let hu = self.state.health[u];
             let Some((to, omega)) = lut_row[hu as usize] else { continue };
@@ -748,7 +921,7 @@ impl Simulation {
             (nbr, to)
         });
         let (exit, next) =
-            Self::schedule(&self.model, to_state, self.age_group[vi] as usize, t, &mut rng);
+            Self::schedule(&self.model, to_state, self.ctx.age_group[vi] as usize, t, &mut rng);
         events.push(Event {
             node: v,
             new_state: to_state,
@@ -757,16 +930,6 @@ impl Simulation {
             next_state: next,
         });
     }
-
-    /// Fraction (numerator, denominator) above which the frontier scan
-    /// abandons the bitset merge for a plain full-range sweep: iterating
-    /// a near-full bitset plus the due-list merge and the single-pass
-    /// stash cost a few ns per node over the reference's bare range
-    /// loop, while sweeping the few off-frontier nodes costs only their
-    /// λ ≡ 0 edge walks. Measured crossover on a mean-degree-20 network
-    /// sits near 3/4 occupancy (direction-optimizing-BFS style switch).
-    const SATURATION_NUM: usize = 3;
-    const SATURATION_DEN: usize = 4;
 
     /// The frontier scan: a two-pointer merge of the partition's due
     /// progressions (sorted bucket drain) and its slice of the active
@@ -783,8 +946,8 @@ impl Simulation {
     /// * neither — λ ≡ 0.0 as above; the reference scan's only effect
     ///   would be the `exit_tick`/σ checks. Skipped.
     ///
-    /// When the partition's frontier occupancy exceeds
-    /// [`Self::SATURATION_NUM`]/[`Self::SATURATION_DEN`], the merge is
+    /// When the partition's frontier occupancy reaches
+    /// [`SimConfig::saturation_threshold`] (default 0.75), the merge is
     /// abandoned for this tick and the partition runs
     /// [`Self::scan_partition_reference`] instead — the two scans emit
     /// identical events (the engine's headline invariant), so at
@@ -794,7 +957,10 @@ impl Simulation {
     fn scan_partition_frontier(&self, ws: &mut Workspace, t: u32) {
         let span = (ws.range.end - ws.range.start) as usize;
         let occupied = self.active.count_range(ws.range.start, ws.range.end);
-        if occupied * Self::SATURATION_DEN >= span * Self::SATURATION_NUM {
+        // `occupied >= span * θ` in f64 is exact at the default θ = 3/4
+        // for any realistic span, so this reproduces the historical
+        // integer `occupied·4 ≥ span·3` switch bit for bit.
+        if occupied as f64 >= span as f64 * self.config.saturation_threshold {
             // Saturated partition: the full sweep finds every due
             // progression via its own `exit_tick` check, so the drained
             // due list is not consulted.
@@ -877,11 +1043,24 @@ impl Simulation {
         }
 
         let started = std::time::Instant::now();
-        // Per-tick aggregation rows, allocated once and re-zeroed by
-        // replaying the tick's events (cheaper than a dense fill when
-        // events are sparse).
-        let mut new_row = vec![0u32; ns];
-        let mut county_row = vec![vec![0u32; ns]; self.n_counties];
+        // Per-tick aggregation rows, owned by the reusable scratch and
+        // re-zeroed by replaying the tick's events (cheaper than a
+        // dense fill when events are sparse). Taken out of the scratch
+        // and deterministically re-shaped so a scratch pooled from a
+        // different run (or region) yields identical bytes.
+        self.scratch.configure(&self.ctx.partitioning);
+        let mut new_row = std::mem::take(&mut self.scratch.new_row);
+        new_row.clear();
+        new_row.resize(ns, 0);
+        let mut county_row = std::mem::take(&mut self.scratch.county_row);
+        county_row.truncate(self.ctx.n_counties);
+        for row in &mut county_row {
+            row.clear();
+            row.resize(ns, 0);
+        }
+        while county_row.len() < self.ctx.n_counties {
+            county_row.push(vec![0u32; ns]);
+        }
 
         for t in first_tick..self.config.ticks {
             // 1. Interventions.
@@ -889,7 +1068,7 @@ impl Simulation {
                 let mut ctx = InterventionCtx {
                     tick: t,
                     state: &mut self.state,
-                    net: &self.net,
+                    net: &self.ctx.net,
                     model: &self.model,
                     recent: &recent,
                     seed: self.config.seed,
@@ -908,7 +1087,7 @@ impl Simulation {
             }
 
             // 2. Parallel scan into the per-partition workspaces.
-            let mut wss = std::mem::take(&mut self.workspaces);
+            let mut wss = std::mem::take(&mut self.scratch.workspaces);
             for ws in &mut wss {
                 ws.events.clear();
                 ws.edges_scanned = 0;
@@ -939,11 +1118,11 @@ impl Simulation {
                     self.state.exit_tick[vi] = ev.exit_tick;
                     self.state.next_state[vi] = ev.next_state;
                     if ev.exit_tick != NEVER {
-                        self.buckets.push(self.part_of[vi] as usize, ev.exit_tick, ev.node);
+                        self.buckets.push(self.ctx.part_of[vi] as usize, ev.exit_tick, ev.node);
                     }
                     self.note_health_change(ev.node, old, ev.new_state);
                     new_row[ev.new_state as usize] += 1;
-                    county_row[self.county[vi] as usize][ev.new_state as usize] += 1;
+                    county_row[self.ctx.county[vi] as usize][ev.new_state as usize] += 1;
                     let rec = TransitionRecord {
                         tick: t,
                         person: ev.node,
@@ -967,17 +1146,22 @@ impl Simulation {
             for ws in &wss {
                 for ev in &ws.events {
                     new_row[ev.new_state as usize] = 0;
-                    county_row[self.county[ev.node as usize] as usize][ev.new_state as usize] = 0;
+                    county_row[self.ctx.county[ev.node as usize] as usize][ev.new_state as usize] =
+                        0;
                 }
             }
-            self.workspaces = wss;
+            self.scratch.workspaces = wss;
             output.memory_bytes.push(
-                self.net.static_memory_bytes()
+                self.ctx.net.static_memory_bytes()
                     + self.state.dynamic_memory_bytes()
                     + self.frontier_memory_bytes()
                     + cum_transitions * 24,
             );
         }
+
+        // Return the aggregation rows to the scratch for the next run.
+        self.scratch.new_row = new_row;
+        self.scratch.county_row = county_row;
 
         // Park the continuation so a later `snapshot()` can capture it
         // (and a redundant `run()` call replays the same result).
@@ -1009,7 +1193,7 @@ impl Simulation {
                 version: SNAPSHOT_VERSION,
                 next_tick: self.start_tick,
                 seed: self.config.seed,
-                n_nodes: self.net.n_nodes as u64,
+                n_nodes: self.ctx.net.n_nodes as u64,
                 n_states: self.model.n_states() as u32,
                 record_transitions: self.config.record_transitions,
             },
@@ -1038,6 +1222,28 @@ impl Simulation {
         config: SimConfig,
         snapshot: &SimSnapshot,
     ) -> Result<Self, SnapshotError> {
+        let ctx = Arc::new(SimContext::build(
+            network,
+            age_group,
+            county,
+            config.n_partitions,
+            config.epsilon,
+        ));
+        Self::resume_with_context(ctx, model, interventions, config, snapshot)
+    }
+
+    /// [`Simulation::resume`] against a pre-built shared [`SimContext`]
+    /// — the ensemble fast path for restarts: a preempted replicate
+    /// resumes without rebuilding the network the rest of the ensemble
+    /// is already sharing. Same validation, same byte-identical
+    /// continuation.
+    pub fn resume_with_context(
+        ctx: Arc<SimContext>,
+        model: DiseaseModel,
+        interventions: InterventionSet,
+        config: SimConfig,
+        snapshot: &SimSnapshot,
+    ) -> Result<Self, SnapshotError> {
         let meta = &snapshot.meta;
         if meta.version != SNAPSHOT_VERSION {
             return Err(SnapshotError::Version(meta.version));
@@ -1049,27 +1255,27 @@ impl Simulation {
             format!("seed: snapshot {} vs config {}", meta.seed, config.seed),
         )?;
         check(
-            meta.n_nodes == network.n_nodes as u64,
-            format!("node count: snapshot {} vs network {}", meta.n_nodes, network.n_nodes),
+            meta.n_nodes == ctx.net.n_nodes as u64,
+            format!("node count: snapshot {} vs network {}", meta.n_nodes, ctx.net.n_nodes),
         )?;
         check(
             meta.n_states == model.n_states() as u32,
             format!("state count: snapshot {} vs model {}", meta.n_states, model.n_states()),
         )?;
         check(
-            snapshot.state.n_nodes() == network.n_nodes,
+            snapshot.state.n_nodes() == ctx.net.n_nodes,
             format!(
                 "state arrays cover {} nodes, network has {}",
                 snapshot.state.n_nodes(),
-                network.n_nodes
+                ctx.net.n_nodes
             ),
         )?;
         check(
-            snapshot.state.n_edges() == network.edges.len(),
+            snapshot.state.n_edges() == ctx.net.n_undirected,
             format!(
                 "edge bits cover {} edges, network has {}",
                 snapshot.state.n_edges(),
-                network.edges.len()
+                ctx.net.n_undirected
             ),
         )?;
         check(
@@ -1081,11 +1287,11 @@ impl Simulation {
             "record_transitions differs between snapshot and config".to_string(),
         )?;
 
-        let mut sim = Simulation::new(network, model, age_group, county, interventions, config);
+        let mut sim = Simulation::new_with_context(ctx, model, interventions, config);
         sim.state = snapshot.state.clone();
         for (tick, nodes) in &snapshot.queues {
             for &v in nodes {
-                sim.buckets.push(sim.part_of[v as usize] as usize, *tick, v);
+                sim.buckets.push(sim.ctx.part_of[v as usize] as usize, *tick, v);
             }
         }
         sim.interventions
@@ -1722,5 +1928,145 @@ mod tests {
         assert!(matches!(r, Err(SnapshotError::Version(_))), "future version accepted");
         // The unmodified snapshot is accepted.
         assert!(try_resume(&net, base, &snap).is_ok());
+    }
+
+    /// A context-backed simulation (shared `Arc<SimContext>`, pooled
+    /// scratch moved from replicate to replicate) must be byte-identical
+    /// to the fresh-build path on every output series.
+    #[test]
+    fn shared_context_byte_identical_to_fresh_build() {
+        let net = dense_network(50);
+        let n = net.n_nodes;
+        for parts in [1usize, 4, 13] {
+            let cfg =
+                |seed| SimConfig { ticks: 40, seed, n_partitions: parts, ..Default::default() };
+            let ctx = std::sync::Arc::new(SimContext::build(
+                &net,
+                vec![2; n],
+                vec![0; n],
+                parts,
+                SimConfig::default().epsilon,
+            ));
+            let mut scratch = SimScratch::new();
+            for seed in [1u64, 9, 42] {
+                let fresh = sim_on(&net, 1.5, cfg(seed)).run();
+                let mut shared = Simulation::new_with_context(
+                    ctx.clone(),
+                    sir_model(1.5, 5.0),
+                    InterventionSet::default(),
+                    cfg(seed),
+                );
+                shared.install_scratch(scratch);
+                let res = shared.run();
+                scratch = shared.take_scratch();
+                assert_eq!(res.output, fresh.output, "seed {seed} / {parts} partitions");
+                assert_eq!(res.stats, fresh.stats, "stats diverge at seed {seed}");
+            }
+        }
+    }
+
+    /// Config requesting a partitioning the context was not built for
+    /// is a programming error, not a silent divergence.
+    #[test]
+    #[should_panic(expected = "context partitioned for")]
+    fn context_partition_mismatch_panics() {
+        let net = dense_network(10);
+        let ctx = std::sync::Arc::new(SimContext::build(&net, vec![2; 10], vec![0; 10], 4, 16));
+        let _ = Simulation::new_with_context(
+            ctx,
+            sir_model(1.0, 5.0),
+            InterventionSet::default(),
+            SimConfig { n_partitions: 8, ..Default::default() },
+        );
+    }
+
+    /// θ = 0 degenerates every tick to the reference sweep: identical
+    /// output *and* identical edges-scanned telemetry to a
+    /// `reference_scan` run, even on a sparse epidemic where the
+    /// frontier scan would have skipped most of the network.
+    #[test]
+    fn saturation_threshold_zero_degenerates_to_reference_sweep() {
+        let net = dense_network(50);
+        let base = SimConfig { ticks: 40, seed: 99, initial_infections: 4, ..Default::default() };
+        // β = 0 keeps the frontier small, so the default θ genuinely
+        // takes the frontier path while θ = 0 must not.
+        let degen =
+            sim_on(&net, 0.0, SimConfig { saturation_threshold: 0.0, ..base.clone() }).run();
+        let reference = sim_on(&net, 0.0, SimConfig { reference_scan: true, ..base.clone() }).run();
+        let frontier = sim_on(&net, 0.0, base).run();
+        assert_eq!(degen.output, reference.output);
+        assert_eq!(degen.stats.edges_scanned, reference.stats.edges_scanned);
+        assert!(
+            frontier.stats.total_edges_scanned() < degen.stats.total_edges_scanned(),
+            "the default threshold should beat the degenerate sweep here"
+        );
+    }
+
+    /// snapshot()/resume() round-trips through a shared context: the
+    /// interrupted context-backed replicate resumes on the *same* Arc
+    /// and completes byte-identically to the uninterrupted fresh run.
+    #[test]
+    fn ckpt_round_trip_through_shared_context() {
+        let net = dense_network(50);
+        let n = net.n_nodes;
+        let base = SimConfig { ticks: 40, seed: 99, initial_infections: 4, ..Default::default() };
+        let baseline = sim_on(&net, 1.5, base.clone()).run();
+        let ctx = std::sync::Arc::new(SimContext::build(
+            &net,
+            vec![2; n],
+            vec![0; n],
+            base.n_partitions,
+            base.epsilon,
+        ));
+        for k in [0u32, 1, 17, 39, 40] {
+            let mut interrupted = Simulation::new_with_context(
+                ctx.clone(),
+                sir_model(1.5, 5.0),
+                InterventionSet::default(),
+                SimConfig { ticks: k, ..base.clone() },
+            );
+            interrupted.run();
+            let snap = crate::checkpoint::SimSnapshot::decode(&interrupted.snapshot().encode())
+                .expect("snapshot survives encode/decode");
+            let mut resumed = Simulation::resume_with_context(
+                ctx.clone(),
+                sir_model(1.5, 5.0),
+                InterventionSet::default(),
+                base.clone(),
+                &snap,
+            )
+            .expect("snapshot matches the context it came from");
+            let res = resumed.run();
+            assert_eq!(res.output, baseline.output, "interrupt at {k} diverged");
+            assert_eq!(res.stats, baseline.stats, "stats diverged at {k}");
+        }
+    }
+
+    /// resume_with_context applies the same mismatch validation as the
+    /// fresh-build resume.
+    #[test]
+    fn ckpt_resume_with_context_rejects_mismatches() {
+        use crate::checkpoint::SnapshotError;
+        let net = dense_network(20);
+        let base = SimConfig { ticks: 20, seed: 5, initial_infections: 2, ..Default::default() };
+        let mut sim = sim_on(&net, 1.0, SimConfig { ticks: 8, ..base.clone() });
+        sim.run();
+        let snap = sim.snapshot();
+        let other = dense_network(21);
+        let wrong_ctx = std::sync::Arc::new(SimContext::build(
+            &other,
+            vec![2; 21],
+            vec![0; 21],
+            base.n_partitions,
+            base.epsilon,
+        ));
+        let r = Simulation::resume_with_context(
+            wrong_ctx,
+            sir_model(1.0, 5.0),
+            InterventionSet::default(),
+            base,
+            &snap,
+        );
+        assert!(matches!(r, Err(SnapshotError::Mismatch(_))), "wrong network accepted");
     }
 }

@@ -61,7 +61,7 @@ fn main() {
     println!(
         "Simulated 150 days in {:.3} s on {} partitions",
         result.elapsed.as_secs_f64(),
-        sim.partitioning.len()
+        sim.partitioning().len()
     );
 
     // 4. Inspect the outcome.

@@ -1,5 +1,6 @@
 //! Offline shim for the subset of the `rayon` API used by this
 //! workspace: `slice.par_iter().map(f).collect::<Vec<_>>()`,
+//! `slice.par_iter().map_init(init, f).collect::<Vec<_>>()`,
 //! `collection.into_par_iter().map(f).collect::<Vec<_>>()`, and
 //! `slice.par_iter_mut().for_each(f)`.
 //!
@@ -29,6 +30,13 @@ pub struct ParSliceMap<'a, T, F> {
     f: F,
 }
 
+/// `par_iter().map_init(init, f)` — per-worker reusable state.
+pub struct ParSliceMapInit<'a, T, I, F> {
+    slice: &'a [T],
+    init: I,
+    f: F,
+}
+
 impl<'a, T: Sync> ParSlice<'a, T> {
     pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
     where
@@ -36,6 +44,55 @@ impl<'a, T: Sync> ParSlice<'a, T> {
         R: Send,
     {
         ParSliceMap { slice: self.slice, f }
+    }
+
+    /// Like rayon's `map_init`: each worker calls `init` once and
+    /// threads the resulting state through every element it processes
+    /// (scratch-buffer pooling across items, not just within one).
+    pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParSliceMapInit<'a, T, I, F>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+    {
+        ParSliceMapInit { slice: self.slice, init, f }
+    }
+}
+
+impl<'a, T: Sync, I, F> ParSliceMapInit<'a, T, I, F> {
+    pub fn collect<C, S, R>(self) -> C
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.slice.len();
+        let workers = worker_count(n);
+        if workers <= 1 {
+            let mut state = (self.init)();
+            return self.slice.iter().map(|x| (self.f)(&mut state, x)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let init = &self.init;
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut state = init();
+                        c.iter().map(|x| f(&mut state, x)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
     }
 }
 
@@ -270,6 +327,31 @@ mod tests {
         let mut empty: Vec<u64> = Vec::new();
         empty.par_iter_mut().for_each(|x| *x += 1);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn map_init_preserves_order_and_reuses_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = xs
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u64>::new()
+                },
+                |buf, &x| {
+                    buf.push(x);
+                    x * 3
+                },
+            )
+            .collect();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3 * i as u64);
+        }
+        // One init per worker, not per item.
+        assert!(inits.load(Ordering::Relaxed) <= super::worker_count(xs.len()));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use epiflow::calibrate::{calibrate_direct, MetropolisConfig, ParamSpace};
 use epiflow::core::runner::run_cell;
-use epiflow::core::{CalibrationWorkflow, CellConfig, PredictionWorkflow};
+use epiflow::core::{CalibrationWorkflow, CellConfig, EnsembleRunner, PredictionWorkflow};
 use epiflow::epihiper::covid::states;
 use epiflow::metapop::{MetapopModel, Mixing, Scenario, SeirParams};
 use epiflow::surveillance::{GroundTruth, GroundTruthConfig, RegionRegistry, Scale};
@@ -58,6 +58,10 @@ fn calibration_to_prediction_pipeline() {
     let truth = CellConfig::from_theta(900, &[0.32, 0.6, 0.4, 0.4], &base);
     let observed = run_cell(&data, &truth, 2, 4, false, 0xAB);
 
+    // One shared ensemble context for the whole nightly pipeline:
+    // calibration and prediction run against the same network build.
+    let runner = EnsembleRunner::new(&data, 4);
+
     let cal = CalibrationWorkflow {
         n_prior_cells: 24,
         n_posterior: 12,
@@ -69,7 +73,7 @@ fn calibration_to_prediction_pipeline() {
         },
         ..Default::default()
     };
-    let result = cal.run(&data, &observed.log_cum_symptomatic);
+    let result = cal.run_with(&runner, &observed.log_cum_symptomatic);
     assert_eq!(result.posterior_configs.len(), 12);
     let space = CellConfig::calibration_space();
     for c in &result.posterior_configs {
@@ -78,7 +82,7 @@ fn calibration_to_prediction_pipeline() {
 
     let pred = PredictionWorkflow { replicates: 3, horizon_days: 80, n_partitions: 4, seed: 2 };
     let configs: Vec<CellConfig> = result.posterior_configs.iter().take(5).cloned().collect();
-    let res = pred.run(&data, &configs);
+    let res = pred.run_with(&runner, &configs);
     assert_eq!(res.runs.len(), 15);
     assert_eq!(res.cumulative_band.median.len(), 80);
     for t in 0..80 {

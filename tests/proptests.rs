@@ -3,7 +3,9 @@
 use epiflow::core::CombinedWorkflow;
 use epiflow::epihiper::checkpoint::SimSnapshot;
 use epiflow::epihiper::disease::sir_model;
-use epiflow::epihiper::engine::{CounterRng, SimConfig, SimResult, Simulation};
+use epiflow::epihiper::engine::{
+    CounterRng, SimConfig, SimContext, SimResult, SimScratch, Simulation,
+};
 use epiflow::epihiper::interventions::{
     GenericIntervention, InterventionSet, Operation, StayAtHome, Target, Trigger,
 };
@@ -29,6 +31,7 @@ use epiflow::synthpop::network::ContactEdge;
 use epiflow::synthpop::{ActivityType, ContactNetwork};
 use proptest::prelude::*;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// A 204-task nightly engine with failover + hedging on and an
 /// arbitrary sampled fault plan (possibly a total remote kill).
@@ -627,5 +630,108 @@ proptest! {
             .map(|(ii, n)| spec.run_night(ii, n))
             .collect();
         prop_assert_eq!(&parallel.outcomes, &sequential);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ensemble invariant: one shared [`SimContext`] per partition
+    /// count, reused across a ⟨cell (beta), replicate (seed)⟩ grid with
+    /// pooled scratch carried run-to-run, is byte-identical to building
+    /// every simulation from scratch — outputs, telemetry, and snapshot
+    /// wire bytes alike. A context-backed run interrupted mid-flight
+    /// also resumes through the same shared `Arc` to the same bytes.
+    #[test]
+    fn shared_context_grid_byte_identical(
+        (n, pairs) in arb_edges(80),
+        base_seed in any::<u64>(),
+        k in 0u32..=30,
+    ) {
+        let net = make_network(n, &pairs);
+        let nn = net.n_nodes;
+        let betas = [0.4f64, 1.5]; // two cells of a tiny study design
+        let cfg = |seed: u64, ticks: u32, parts: usize| SimConfig {
+            ticks,
+            seed,
+            n_partitions: parts,
+            initial_infections: 3,
+            ..Default::default()
+        };
+        for parts in [1usize, 4, 13] {
+            let ctx = Arc::new(SimContext::build(
+                &net,
+                vec![2; nn],
+                vec![0; nn],
+                parts,
+                SimConfig::default().epsilon,
+            ));
+            let mut scratch = SimScratch::new();
+            for (cell, &beta) in betas.iter().enumerate() {
+                for rep in 0..2u64 {
+                    let seed = base_seed ^ ((cell as u64) << 16) ^ rep;
+                    let mut fresh = Simulation::new(
+                        &net,
+                        sir_model(beta, 5.0),
+                        vec![2; nn],
+                        vec![0; nn],
+                        InterventionSet::default(),
+                        cfg(seed, 30, parts),
+                    );
+                    let fresh_out = fresh.run();
+                    let mut shared = Simulation::new_with_context(
+                        Arc::clone(&ctx),
+                        sir_model(beta, 5.0),
+                        InterventionSet::default(),
+                        cfg(seed, 30, parts),
+                    );
+                    shared.install_scratch(std::mem::take(&mut scratch));
+                    let shared_out = shared.run();
+                    scratch = shared.take_scratch();
+                    prop_assert_eq!(
+                        &fresh_out.output, &shared_out.output,
+                        "cell {} rep {} diverged at {} partitions", cell, rep, parts
+                    );
+                    prop_assert_eq!(&fresh_out.stats, &shared_out.stats);
+                    prop_assert_eq!(fresh.snapshot().encode(), shared.snapshot().encode());
+                }
+            }
+            // Interrupt a context-backed run at tick `k` and resume it
+            // through the *same* shared context.
+            let seed = base_seed ^ 0xA5;
+            let beta = betas[1];
+            let mut baseline = Simulation::new_with_context(
+                Arc::clone(&ctx),
+                sir_model(beta, 5.0),
+                InterventionSet::default(),
+                cfg(seed, 30, parts),
+            );
+            let base_out = baseline.run();
+            let mut interrupted = Simulation::new_with_context(
+                Arc::clone(&ctx),
+                sir_model(beta, 5.0),
+                InterventionSet::default(),
+                cfg(seed, k, parts),
+            );
+            interrupted.install_scratch(std::mem::take(&mut scratch));
+            interrupted.run();
+            scratch = interrupted.take_scratch();
+            let bytes = interrupted.snapshot().encode();
+            let snap = SimSnapshot::decode(&bytes).expect("snapshot wire round-trip");
+            let mut resumed = Simulation::resume_with_context(
+                Arc::clone(&ctx),
+                sir_model(beta, 5.0),
+                InterventionSet::default(),
+                cfg(seed, 30, parts),
+                &snap,
+            )
+            .expect("snapshot accepted through shared context");
+            let res_out = resumed.run();
+            prop_assert_eq!(
+                &base_out.output, &res_out.output,
+                "context-backed resume diverged at tick {} on {} partitions", k, parts
+            );
+            prop_assert_eq!(&base_out.stats, &res_out.stats);
+        }
     }
 }
